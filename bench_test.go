@@ -1,0 +1,218 @@
+package repro
+
+// One benchmark per experiment of DESIGN.md's index (E1..E10). Each runs
+// the corresponding harness experiment at Quick scale and reports the
+// headline metric of the paper claim via b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates every table's shape. Full-size
+// tables: `go run ./cmd/augbench`.
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/layered"
+	"repro/internal/matchutil"
+	"repro/internal/randarrival"
+	"repro/internal/stream"
+	"repro/internal/unwaug"
+)
+
+func graphBip(n int, side []bool, edges []graph.Edge) (*bipartite.Bip, error) {
+	return bipartite.NewBip(n, side, edges)
+}
+
+func benchCfg(i int) bench.Config {
+	return bench.Config{Seed: int64(i + 1), Trials: 2, Quick: true}
+}
+
+// parseRatio pulls a float cell out of a harness table row.
+func parseRatio(cell string) float64 {
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// BenchmarkE1RandomArrivalWeighted regenerates E1 (Theorem 1.1): the
+// (1/2+c) random-arrival weighted matcher vs its 1/2 baselines.
+func BenchmarkE1RandomArrivalWeighted(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		tables := bench.E1RandomArrivalWeighted(benchCfg(i))
+		ratio = parseRatio(tables[0].Rows[0][4])
+	}
+	b.ReportMetric(ratio, "approx-ratio")
+}
+
+// BenchmarkE2RandomArrivalUnweighted regenerates E2 (Theorem 3.4).
+func BenchmarkE2RandomArrivalUnweighted(b *testing.B) {
+	var lift float64
+	for i := 0; i < b.N; i++ {
+		tables := bench.E2RandomArrivalUnweighted(benchCfg(i))
+		lift = parseRatio(tables[0].Rows[0][4])
+	}
+	b.ReportMetric(lift, "lift-over-greedy")
+}
+
+// BenchmarkE3ThreeAugPaths regenerates E3 (Lemma 3.1).
+func BenchmarkE3ThreeAugPaths(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	inst, m0 := graph.ThreeAugWorkload(200, 0.5, 1000, rng)
+	b.ResetTimer()
+	recovered := 0
+	for i := 0; i < b.N; i++ {
+		f := unwaug.New(m0, 0.5)
+		for _, e := range inst.G.Edges() {
+			if !m0.Has(e.U, e.V) {
+				f.Feed(e)
+			}
+		}
+		recovered = len(f.Finalize())
+	}
+	b.ReportMetric(float64(recovered), "paths")
+}
+
+// BenchmarkE4MultipassWeighted regenerates E4 (Theorem 1.2(2)).
+func BenchmarkE4MultipassWeighted(b *testing.B) {
+	var passes float64
+	for i := 0; i < b.N; i++ {
+		tables := bench.E4MultipassWeighted(benchCfg(i))
+		passes = parseRatio(tables[0].Rows[0][2])
+	}
+	b.ReportMetric(passes, "total-passes")
+}
+
+// BenchmarkE5MPCWeighted regenerates E5 (Theorem 1.2(1)).
+func BenchmarkE5MPCWeighted(b *testing.B) {
+	var rounds float64
+	for i := 0; i < b.N; i++ {
+		tables := bench.E5MPCWeighted(benchCfg(i))
+		rounds = parseRatio(tables[0].Rows[0][2])
+	}
+	b.ReportMetric(rounds, "total-rounds")
+}
+
+// BenchmarkE6SpaceUsage regenerates E6 (Lemma 3.15).
+func BenchmarkE6SpaceUsage(b *testing.B) {
+	var stackSize float64
+	for i := 0; i < b.N; i++ {
+		tables := bench.E6SpaceUsage(benchCfg(i))
+		stackSize = parseRatio(tables[0].Rows[0][2])
+	}
+	b.ReportMetric(stackSize, "stack-edges")
+}
+
+// BenchmarkE7FilterSoundness regenerates E7 (Figure 1 invariant).
+func BenchmarkE7FilterSoundness(b *testing.B) {
+	var decreases float64
+	for i := 0; i < b.N; i++ {
+		tables := bench.E7FilterSoundness(benchCfg(i))
+		decreases = parseRatio(tables[0].Rows[0][2])
+	}
+	b.ReportMetric(decreases, "weight-decreases")
+}
+
+// BenchmarkE8LayeredCapture regenerates E8 (Lemma 4.12 / Section 1.1.2).
+func BenchmarkE8LayeredCapture(b *testing.B) {
+	var prob float64
+	for i := 0; i < b.N; i++ {
+		tables := bench.E8LayeredCapture(benchCfg(i))
+		prob = parseRatio(tables[0].Rows[0][2])
+	}
+	b.ReportMetric(prob, "capture-prob")
+}
+
+// BenchmarkE9TauPairs regenerates E9 (Table 1 enumeration).
+func BenchmarkE9TauPairs(b *testing.B) {
+	var pairs float64
+	for i := 0; i < b.N; i++ {
+		tables := bench.E9TauPairs(benchCfg(i))
+		pairs = parseRatio(tables[0].Rows[len(tables[0].Rows)-1][2])
+	}
+	b.ReportMetric(pairs, "tau-pairs")
+}
+
+// BenchmarkE10Overhead regenerates E10 (Theorem 4.1 overhead factor).
+func BenchmarkE10Overhead(b *testing.B) {
+	var factor float64
+	for i := 0; i < b.N; i++ {
+		tables := bench.E10Overhead(benchCfg(i))
+		last := tables[0].Rows[len(tables[0].Rows)-1]
+		factor = parseRatio(last[3])
+	}
+	b.ReportMetric(factor, "overhead-factor")
+}
+
+// Micro-benchmarks of the load-bearing primitives, for regression tracking.
+
+func BenchmarkLocalRatioStream(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	inst := graph.RandomGraph(500, 10000, 1<<20, rng)
+	order := stream.RandomOrder(inst.G, rng).Edges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := randarrival.RandArrMatching(inst.G.N(), stream.FromEdges(order),
+			randarrival.WeightedOptions{Rng: rng})
+		_ = m
+	}
+}
+
+func BenchmarkLayeredBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	inst := graph.PlantedMatching(200, 1000, 100, 200, rng)
+	par := layered.Parametrize(inst.G.N(), inst.G.Edges(), inst.Opt, rng)
+	prm := layered.Params{}.WithDefaults()
+	pairs := layered.EnumerateGoodPairs(prm)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layered.Build(par, pairs[i%len(pairs)], 128, prm)
+	}
+}
+
+func BenchmarkHopcroftKarpOracle(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	inst := graph.RandomBipartite(500, 500, 5000, 10, rng)
+	side := make([]bool, 1000)
+	for v := 500; v < 1000; v++ {
+		side[v] = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver := core.ExactSolver()
+		bip, err := graphBip(inst.G.N(), side, inst.G.Edges())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := solver(bip); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlossom(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	inst := graph.RandomGraph(300, 2000, 5, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matchutil.MaxCardinality(inst.G)
+	}
+}
+
+func BenchmarkReductionRound(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	inst := graph.PlantedMatching(100, 500, 100, 200, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var stats core.Stats
+		m := graph.NewMatching(inst.G.N())
+		if _, err := core.Round(inst.G, m, core.Options{Rng: rng}, &stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Command augbench runs the experiment harness and prints the paper-style
+// tables of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	augbench [-experiment E1,E4] [-seed 1] [-trials 5] [-quick]
+//
+// With no -experiment flag every experiment (E1..E10) runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "augbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("augbench", flag.ContinueOnError)
+	experiments := fs.String("experiment", "", "comma-separated experiment ids (default: all)")
+	seed := fs.Int64("seed", 1, "random seed")
+	trials := fs.Int("trials", 5, "trials per table row")
+	quick := fs.Bool("quick", false, "shrink instance sizes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := bench.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	registry := bench.Registry()
+
+	ids := bench.IDs()
+	if *experiments != "" {
+		ids = strings.Split(*experiments, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runner, ok := registry[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have %v)", id, bench.IDs())
+		}
+		for _, t := range runner(cfg) {
+			t.Render(os.Stdout)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+// Command auggen generates benchmark graphs in the text edge format
+// ("p <n> <m>" header, then "<u> <v> <w>" lines) on stdout.
+//
+// Usage:
+//
+//	auggen -family planted -n 1000 -m 8000 -seed 1 > g.txt
+//
+// Families: random, planted, bipartite, cycle, chain, geometric.
+// For families with a known optimum the weight is emitted as a comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/graph"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "auggen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("auggen", flag.ContinueOnError)
+	family := fs.String("family", "random", "random|planted|bipartite|cycle|chain|geometric")
+	n := fs.Int("n", 100, "vertex count (segments for chain; half-length for cycle)")
+	m := fs.Int("m", 500, "edge count (noise edges for planted)")
+	maxw := fs.Int64("maxw", 1000, "maximum edge weight")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	var inst graph.Instance
+	switch *family {
+	case "random":
+		inst = graph.RandomGraph(*n, *m, *maxw, rng)
+	case "planted":
+		inst = graph.PlantedMatching(*n, *m, *maxw/2, *maxw, rng)
+	case "bipartite":
+		inst = graph.RandomBipartite(*n/2, *n-*n/2, *m, *maxw, rng)
+	case "cycle":
+		inst = graph.WeightedCycle(*n, 3**maxw/4, *maxw)
+	case "chain":
+		inst = graph.AugmentingChain(*n, *maxw/2, *maxw/2+1, rng)
+	case "geometric":
+		inst = graph.GeometricWeights(*n, *m, 2, 12, rng)
+	default:
+		return fmt.Errorf("unknown family %q", *family)
+	}
+	if inst.OptExact {
+		fmt.Printf("# optimum %d\n", inst.OptWeight)
+	}
+	_, err := inst.G.WriteTo(os.Stdout)
+	return err
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunFamilies(t *testing.T) {
+	// run writes to os.Stdout; here we only verify flag handling and family
+	// dispatch by checking error paths and the full-run happy path per
+	// family (output correctness is covered by graph's IO round-trip
+	// tests).
+	for _, family := range []string{"random", "planted", "bipartite", "cycle", "chain", "geometric"} {
+		if err := run([]string{"-family", family, "-n", "10", "-m", "20", "-seed", "1"}); err != nil {
+			t.Errorf("family %s: %v", family, err)
+		}
+	}
+}
+
+func TestRunUnknownFamily(t *testing.T) {
+	if err := run([]string{"-family", "nope"}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-n", "notanumber"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

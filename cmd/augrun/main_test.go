@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	content := "p 4 3\n0 1 4\n1 2 5\n2 3 4\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAlgorithms(t *testing.T) {
+	path := writeTestGraph(t)
+	algos := []struct {
+		name string
+		want string // substring of the final line
+	}{
+		{"greedy", "weight=5"},
+		{"localratio", "weight="},
+		{"exact", "weight=8"},
+		{"blossom", "size=2"},
+		{"randarrival", "weight="},
+		{"randarrival-unweighted", "size="},
+		{"approx", "weight=8"},
+		{"streaming", "weight=8"},
+		{"mpc", "weight=8"},
+	}
+	for _, tc := range algos {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run([]string{"-algo", tc.name, "-input", path}, nil, &out)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !strings.Contains(out.String(), tc.want) {
+				t.Errorf("output %q missing %q", out.String(), tc.want)
+			}
+		})
+	}
+}
+
+func TestRunStdin(t *testing.T) {
+	var out bytes.Buffer
+	in := strings.NewReader("p 2 1\n0 1 7\n")
+	if err := run([]string{"-algo", "greedy"}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "weight=7") {
+		t.Errorf("output: %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestGraph(t)
+	if err := run([]string{"-algo", "nope", "-input", path}, nil, &bytes.Buffer{}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"-input", "/does/not/exist"}, nil, &bytes.Buffer{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-algo", "greedy"}, strings.NewReader("garbage"), &bytes.Buffer{}); err == nil {
+		t.Error("bad input accepted")
+	}
+}

@@ -1,0 +1,41 @@
+// Augmenting-cycle demo (Section 1.1.2): a 4-cycle with weights
+// (24, 32, 24, 32) where the weight-24 edges form a PERFECT matching of
+// weight 48. No augmenting path exists — the optimum of 64 is reachable only
+// through an augmenting cycle, which the layered-graph construction captures
+// by "blowing up" the cycle into a repeated alternating path
+// (e1 o1 e2 o2 e1) across five layers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	g := repro.NewGraph(4)
+	g.MustAddEdge(0, 1, 24) // e1
+	g.MustAddEdge(1, 2, 32) // o1
+	g.MustAddEdge(2, 3, 24) // e2
+	g.MustAddEdge(3, 0, 32) // o2
+
+	start := repro.NewMatching(4)
+	for _, e := range []repro.Edge{{U: 0, V: 1, W: 24}, {U: 2, V: 3, W: 24}} {
+		if err := start.Add(e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("start:   perfect matching of weight %d (no augmenting path exists)\n", start.Weight())
+
+	res, err := repro.ApproxWeighted(g, start, repro.ApproxOptions{
+		Seed: 3, MaxRounds: 100, Patience: 25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after:   weight %d, edges %v\n", res.M.Weight(), res.M.Edges())
+	fmt.Printf("optimum: 64 — reached via an augmenting cycle found as a layered-graph path\n")
+	fmt.Printf("(reduction rounds: %d, unweighted matcher calls: %d)\n",
+		res.Stats.Rounds, res.Stats.SolverCalls)
+}

@@ -1,0 +1,36 @@
+// Certified ratios at scale: on instances far beyond any exact solver, the
+// local-ratio vertex potentials form a fractional cover of the edge weights
+// (w(e) <= alpha_u + alpha_v for every edge), so Σα is a certified upper
+// bound on the optimum. Dividing by it gives approximation-ratio lower
+// bounds that need no oracle — used here to certify both the local-ratio
+// baseline and the Theorem 1.2 reduction on a 20k-vertex instance.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+	inst := repro.RandomGraph(20000, 120000, 1_000_000, rng)
+	fmt.Printf("instance: n=%d m=%d (no exact solver feasible)\n",
+		inst.G.N(), inst.G.M())
+
+	m, certified := repro.LocalRatioCertified(inst.G)
+	fmt.Printf("local-ratio:  weight=%d  certified ratio >= %.4f\n", m.Weight(), certified)
+
+	res, err := repro.ApproxWeighted(inst.G, m, repro.ApproxOptions{
+		Seed: 1, MaxRounds: 6, Patience: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := float64(m.Weight()) / certified // certified OPT upper bound
+	fmt.Printf("reduction:    weight=%d  certified ratio >= %.4f\n",
+		res.M.Weight(), float64(res.M.Weight())/bound)
+	fmt.Printf("(the reduction starts from the local-ratio matching and only improves it)\n")
+}

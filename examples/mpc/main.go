@@ -1,0 +1,37 @@
+// MPC demo (Theorem 1.2(1)): the reduction in the simulated massively
+// parallel computation model — O(m/n) machines, near-linear memory per
+// machine — with round accounting. The overhead of handling weights is a
+// constant factor over the unweighted subroutine's rounds (U_M).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	for _, n := range []int{100, 200, 400} {
+		rng := rand.New(rand.NewSource(11))
+		inst := repro.PlantedMatching(n, 5*n, 100, 200, rng)
+		res, err := repro.ApproxWeightedMPC(inst.G, nil, repro.ApproxOptions{Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		overhead := 0.0
+		if res.SubroutineRounds > 0 {
+			overhead = float64(res.TotalRounds) / float64(res.SubroutineRounds)
+		}
+		fmt.Printf("n=%4d  ratio=%.4f  rounds=%3d  U_M=%2d  overhead=%.1fx  peak-load=%d words\n",
+			n,
+			repro.Ratio(res.M, inst.OptWeight),
+			res.TotalRounds,
+			res.SubroutineRounds,
+			overhead,
+			res.PeakLoad,
+		)
+	}
+	fmt.Println("\nweighted rounds / unweighted rounds stays constant in n: the Theorem 4.1 claim.")
+}

@@ -1,0 +1,31 @@
+// Multi-pass streaming demo (Theorem 1.2(2)): the weighted-to-unweighted
+// reduction runs in the semi-streaming model; the pass counter shows the
+// O_ε(1)-passes shape — the per-round pass budget does not grow with n.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	for _, n := range []int{100, 200, 400} {
+		rng := rand.New(rand.NewSource(7))
+		inst := repro.PlantedMatching(n, 5*n, 100, 200, rng)
+		res, err := repro.ApproxWeightedStreaming(inst.G, nil, repro.ApproxOptions{Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("n=%4d  ratio=%.4f  total-passes=%3d  max-passes/round=%2d  peak-memory=%d words\n",
+			n,
+			repro.Ratio(res.M, inst.OptWeight),
+			res.TotalPasses,
+			res.MaxRoundPasses,
+			res.PeakStored,
+		)
+	}
+	fmt.Println("\nper-round passes stay flat as n grows: the Theorem 1.2(2) shape.")
+}

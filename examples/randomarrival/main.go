@@ -1,0 +1,40 @@
+// Random-arrival demo (Theorem 1.1): on a stream of weighted edges arriving
+// in uniformly random order, Rand-Arr-Matching (Algorithm 2) beats the 1/2
+// barrier that greedy-style algorithms are stuck at. The workload is a
+// planted-optimum graph so ratios are exact.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	// The greedy trap: chains of length-3 segments with weights 50, 51, 50.
+	// Sorting by weight picks the middle edge of every segment (51) and
+	// blocks both outer edges (50+50 = 100), landing at ratio ~0.51 — the
+	// "1/2 barrier". Each trapped segment is exactly a weighted
+	// 3-augmentation, the structure Algorithm 2 recovers.
+	rng := rand.New(rand.NewSource(42))
+	inst := repro.AugmentingChain(800, 50, 51, rng)
+	fmt.Printf("instance: n=%d m=%d optimum=%d (greedy-trap chain)\n",
+		inst.G.N(), inst.G.M(), inst.OptWeight)
+
+	greedy := repro.GreedyWeighted(inst.G)
+	fmt.Printf("sorted greedy:        ratio %.4f (the 1/2 barrier)\n",
+		repro.Ratio(greedy, inst.OptWeight))
+
+	trials := 5
+	var sum float64
+	for seed := int64(0); seed < int64(trials); seed++ {
+		res := repro.RandomArrivalWeighted(inst.G, repro.RandomArrivalOptions{Seed: seed})
+		r := repro.Ratio(res.M, inst.OptWeight)
+		sum += r
+		fmt.Printf("rand-arrival seed=%d: ratio %.4f  branch=%s  |S|=%d |T|=%d\n",
+			seed, r, res.Branch, res.StackSize, res.TSize)
+	}
+	fmt.Printf("rand-arrival average: %.4f (paper: 1/2+c in expectation)\n",
+		sum/float64(trials))
+}

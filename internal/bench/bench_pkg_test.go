@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("ids[%d] = %s, want %s", i, ids[i], id)
+		}
+	}
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	cfg := Config{Seed: 1, Trials: 2, Quick: true}
+	for id, run := range Registry() {
+		id, run := id, run
+		t.Run(id, func(t *testing.T) {
+			tables := run(cfg)
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("table %s has no rows", tb.ID)
+				}
+				var buf bytes.Buffer
+				tb.Render(&buf)
+				if !strings.Contains(buf.String(), tb.ID) {
+					t.Error("render missing table id")
+				}
+			}
+		})
+	}
+}
+
+func TestE7ReportsZeroDecreases(t *testing.T) {
+	tables := E7FilterSoundness(Config{Seed: 2, Trials: 2, Quick: true})
+	row := tables[0].Rows[0]
+	if row[2] != "0" {
+		t.Errorf("E7 found %s weight decreases, want 0", row[2])
+	}
+	if row[3] != "0" {
+		t.Errorf("E7 found %s validation failures, want 0", row[3])
+	}
+}
+
+func TestE9AllGood(t *testing.T) {
+	tables := E9TauPairs(Config{Quick: true})
+	for _, row := range tables[0].Rows {
+		if row[3] != "yes" {
+			t.Errorf("E9 row %v reports bad pairs", row)
+		}
+	}
+}
+
+func TestRunAllRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	RunAll(Config{Seed: 1, Trials: 1, Quick: true}, &buf)
+	out := buf.String()
+	for _, id := range IDs() {
+		if !strings.Contains(out, "== "+id) {
+			t.Errorf("output missing experiment %s", id)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package bipartite implements the unweighted bipartite matching substrates
+// that the Section 4 reduction consumes as its Unw-Bip-Matching black box:
+// exact Hopcroft–Karp, a bounded-phase (1−δ)-approximation, a multi-pass
+// semi-streaming implementation (the [AG13]/[EKMS12] stand-in of Theorem
+// 1.2(2)), and an MPC implementation with round counting (the [GGK+18]
+// stand-in of Theorem 1.2(1)).
+package bipartite
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Bip is a bipartite graph view: vertices [0, n) split by side (false =
+// left, true = right); edges all cross sides.
+type Bip struct {
+	N     int
+	Side  []bool
+	Edges []graph.Edge
+}
+
+// NewBip validates that every edge crosses the bipartition.
+func NewBip(n int, side []bool, edges []graph.Edge) (*Bip, error) {
+	if len(side) != n {
+		return nil, fmt.Errorf("bipartite: side has %d entries for n=%d", len(side), n)
+	}
+	for _, e := range edges {
+		if side[e.U] == side[e.V] {
+			return nil, fmt.Errorf("bipartite: edge %v does not cross the bipartition", e)
+		}
+	}
+	return &Bip{N: n, Side: side, Edges: edges}, nil
+}
+
+// leftAdjacency returns adjacency lists indexed by left vertices.
+func (b *Bip) leftAdjacency() [][]graph.IncidentEdge {
+	adj := make([][]graph.IncidentEdge, b.N)
+	for i, e := range b.Edges {
+		l, r := e.U, e.V
+		if b.Side[l] {
+			l, r = r, l
+		}
+		adj[l] = append(adj[l], graph.IncidentEdge{To: r, W: e.W, EdgeIndex: i})
+	}
+	return adj
+}
+
+// Result carries a matching together with the phase count the solver used
+// (Hopcroft–Karp phases; each phase handles one shortest augmenting-path
+// length).
+type Result struct {
+	M      *graph.Matching
+	Phases int
+}
+
+// HopcroftKarp computes a maximum cardinality matching exactly. It is the
+// δ = 0 oracle of the reduction.
+func HopcroftKarp(b *Bip) Result {
+	return boundedHK(b, math.MaxInt)
+}
+
+// Approx computes a (1−δ)-approximate maximum matching by running
+// Hopcroft–Karp phases only while the shortest augmenting path has length at
+// most 2·ceil(1/δ)−1. By Fact 1.3 the result is (1 − δ)-approximate (a
+// matching with no augmenting path shorter than 2ℓ−1 is (1−1/ℓ)-approximate).
+func Approx(b *Bip, delta float64) Result {
+	if delta <= 0 {
+		return HopcroftKarp(b)
+	}
+	ell := int(math.Ceil(1 / delta))
+	return boundedHK(b, 2*ell-1)
+}
+
+// boundedHK runs HK phases while the shortest augmenting path length is at
+// most maxLen.
+func boundedHK(b *Bip, maxLen int) Result {
+	adj := b.leftAdjacency()
+	matchL := make([]int, b.N) // for left vertices: matched right vertex
+	matchR := make([]int, b.N) // for right vertices: matched left vertex
+	for i := range matchL {
+		matchL[i] = -1
+		matchR[i] = -1
+	}
+	dist := make([]int, b.N)
+	const inf = math.MaxInt32
+
+	bfs := func() int {
+		queue := make([]int, 0, b.N)
+		for v := 0; v < b.N; v++ {
+			dist[v] = inf
+			if !b.Side[v] && matchL[v] == -1 {
+				dist[v] = 0
+				queue = append(queue, v)
+			}
+		}
+		shortest := inf
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			if dist[u] >= shortest {
+				continue
+			}
+			for _, ie := range adj[u] {
+				w := matchR[ie.To]
+				if w == -1 {
+					// Augmenting path of length 2·dist[u]+1 found.
+					if 2*dist[u]+1 < shortest {
+						shortest = 2*dist[u] + 1
+					}
+					continue
+				}
+				if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return shortest
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, ie := range adj[u] {
+			w := matchR[ie.To]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = ie.To
+				matchR[ie.To] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	phases := 0
+	for {
+		shortest := bfs()
+		if shortest == inf || shortest > maxLen {
+			break
+		}
+		phases++
+		for v := 0; v < b.N; v++ {
+			if !b.Side[v] && matchL[v] == -1 {
+				dfs(v)
+			}
+		}
+	}
+
+	return Result{M: matchingFrom(b, matchL), Phases: phases}
+}
+
+// matchingFrom converts a left-match array into a graph.Matching, recovering
+// the heaviest available weight per matched pair (weights are irrelevant to
+// cardinality solvers but preserved for callers).
+func matchingFrom(b *Bip, matchL []int) *graph.Matching {
+	weightOf := make(map[graph.Key]graph.Weight, len(b.Edges))
+	for _, e := range b.Edges {
+		k := e.EdgeKey()
+		if w, ok := weightOf[k]; !ok || e.W > w {
+			weightOf[k] = e.W
+		}
+	}
+	m := graph.NewMatching(b.N)
+	for l, r := range matchL {
+		if b.Side[l] || r == -1 {
+			continue
+		}
+		// matchL is a valid matching by construction; Add cannot fail.
+		if err := m.Add(graph.Edge{U: l, V: r, W: weightOf[graph.KeyOf(l, r)]}); err != nil {
+			panic(err)
+		}
+	}
+	return m
+}

@@ -1,0 +1,372 @@
+// Package core implements the paper's primary contribution: the reduction
+// from (1−ε)-approximate maximum weighted matching in general graphs to
+// (1−δ)-approximate maximum unweighted matching in bipartite graphs
+// (Section 4, Theorems 4.1, 4.7 and 4.8 of
+// Gamlath–Kale–Mitrović–Svensson, PODC 2019).
+//
+// One Round of the reduction is Algorithm 3: for every augmentation-class
+// weight W (geometric steps), Algorithm 4 builds the layered graphs of all
+// good (τA, τB) pairs over a random bipartition, runs the black-box
+// unweighted bipartite matching subroutine on each, translates the
+// augmenting paths back to weighted augmentations of G via the Lemma 4.11
+// decomposition, and finally the per-class augmentation sets are applied
+// greedily from the heaviest class down. Iterating rounds until the gain
+// stalls yields the (1−ε)-approximation of Theorem 1.2.
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bipartite"
+	"repro/internal/graph"
+	"repro/internal/layered"
+)
+
+// Solver is the Unw-Bip-Matching black box of Algorithm 4: any algorithm
+// returning a large matching of a bipartite graph. The reduction only
+// consumes its (1−δ) guarantee.
+type Solver func(b *bipartite.Bip) (*graph.Matching, error)
+
+// ExactSolver adapts Hopcroft–Karp (δ = 0).
+func ExactSolver() Solver {
+	return func(b *bipartite.Bip) (*graph.Matching, error) {
+		return bipartite.HopcroftKarp(b).M, nil
+	}
+}
+
+// ApproxSolver adapts the bounded-phase (1−δ)-approximation.
+func ApproxSolver(delta float64) Solver {
+	return func(b *bipartite.Bip) (*graph.Matching, error) {
+		return bipartite.Approx(b, delta).M, nil
+	}
+}
+
+// Options configures the reduction.
+type Options struct {
+	// Layered carries the granularity parameters (see layered.Params).
+	Layered layered.Params
+	// ClassBase is the geometric step between augmentation-class weights
+	// (the paper's 1+ε⁴). Default 2.
+	ClassBase float64
+	// Solver is the unweighted subroutine. Default ExactSolver.
+	Solver Solver
+	// Rng drives the random bipartitions. Defaults to a fixed seed for
+	// reproducibility.
+	Rng *rand.Rand
+	// MaxRounds caps reduction rounds (the paper repeats (1/ε)^O(1/ε²)
+	// times; we stop early when gain stalls). Default 40.
+	MaxRounds int
+	// Patience is the number of consecutive zero-gain rounds tolerated
+	// before stopping (each round draws a fresh bipartition, so one zero
+	// round is not conclusive). Default 6.
+	Patience int
+	// MaxPairsPerClass caps how many good (τA, τB) pairs are tried per
+	// augmentation class, bounding per-round work on instances with many
+	// populated weight buckets. Default 800.
+	MaxPairsPerClass int
+	// Trace, when non-nil, receives the matching weight after every round
+	// (convergence curves for the E12 experiment).
+	Trace func(round int, weight graph.Weight)
+}
+
+func (o Options) withDefaults() Options {
+	o.Layered = o.Layered.WithDefaults()
+	if o.ClassBase <= 1 {
+		o.ClassBase = 2
+	}
+	if o.Solver == nil {
+		o.Solver = ExactSolver()
+	}
+	if o.Rng == nil {
+		o.Rng = rand.New(rand.NewSource(1))
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 40
+	}
+	if o.Patience <= 0 {
+		o.Patience = 6
+	}
+	if o.MaxPairsPerClass <= 0 {
+		o.MaxPairsPerClass = 800
+	}
+	return o
+}
+
+// Stats accumulates resource usage across a Solve run.
+type Stats struct {
+	// Rounds is the number of Algorithm 3 rounds executed.
+	Rounds int
+	// SolverCalls counts Unw-Bip-Matching invocations (one per surviving
+	// (W, τ-pair) combination).
+	SolverCalls int
+	// LayeredBuilt counts layered graphs constructed (= SolverCalls plus
+	// those skipped for having no augmenting structure).
+	LayeredBuilt int
+	// AppliedAugmentations counts augmentations applied to the matching.
+	AppliedAugmentations int
+	// Gain is the total weight gained over the initial matching.
+	Gain graph.Weight
+}
+
+// ClassWeights returns the augmentation-class weights, the Algorithm 3
+// line-1/2 enumeration, in descending order (Algorithm 3 applies the
+// heaviest class first). Two families are produced:
+//
+//   - the geometric sweep W = base^i covering [minW/2, maxW·(maxLayers+1)],
+//     as in the paper, and
+//   - anchored weights W = maxW/(g·u) for units u = 2..1/g, which align a
+//     bucket boundary with the heaviest edge weight. At the paper's
+//     granularity ε¹² the geometric sweep alone suffices (rounding losses
+//     are negligible); at coarse granularity the anchored classes recover
+//     augmentations — notably augmenting cycles — whose gain would otherwise
+//     drown in bucket rounding (see DESIGN.md, substitutions).
+func ClassWeights(g *graph.Graph, base float64, prm layered.Params) []float64 {
+	prm = prm.WithDefaults()
+	maxW := float64(g.MaxWeight())
+	if maxW <= 0 {
+		return nil
+	}
+	minW := math.Inf(1)
+	for _, e := range g.Edges() {
+		if w := float64(e.W); w < minW {
+			minW = w
+		}
+	}
+	top := maxW * float64(prm.MaxLayers+1)
+	var out []float64
+	for w := minW / 2; w <= top; w *= base {
+		out = append(out, w)
+	}
+	maxU, _ := prm.Units()
+	for u := 2; u <= maxU; u++ {
+		out = append(out, maxW/(prm.Granularity*float64(u)))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	// Deduplicate near-identical weights.
+	dedup := out[:0]
+	for i, w := range out {
+		if i == 0 || w < dedup[len(dedup)-1]*0.999 {
+			dedup = append(dedup, w)
+		}
+	}
+	return dedup
+}
+
+// Round executes one Algorithm 3 round on m: compute AW for every class
+// weight (Algorithm 4), then greedily apply non-conflicting augmentations
+// from the heaviest class down. It returns the realised gain.
+func Round(g *graph.Graph, m *graph.Matching, opts Options, stats *Stats) (graph.Weight, error) {
+	opts = opts.withDefaults()
+	weights := ClassWeights(g, opts.ClassBase, opts.Layered)
+
+	// One random bipartition per round, shared by every class (the paper
+	// parametrises per run of Algorithm 4; sharing only correlates classes,
+	// not the per-class analysis).
+	par := layered.Parametrize(g.N(), g.Edges(), m, opts.Rng)
+
+	var all []graph.Augmentation
+	for _, w := range weights {
+		augs, err := classAugmentations(par, m, w, opts, stats)
+		if err != nil {
+			return 0, err
+		}
+		all = append(all, augs...)
+	}
+	gain, applied := graph.ApplyDisjoint(m, all)
+	stats.AppliedAugmentations += applied
+	stats.Gain += gain
+	stats.Rounds++
+	return gain, nil
+}
+
+// FindClassAugmentations is Algorithm 4 as a standalone entry point: it
+// draws a fresh random bipartition and returns the augmentation set AW for
+// the single augmentation class W. Exposed for experiments that probe one
+// class (e.g. the paper's 4-cycle example).
+func FindClassAugmentations(
+	g *graph.Graph,
+	m *graph.Matching,
+	w float64,
+	opts Options,
+	stats *Stats,
+) ([]graph.Augmentation, error) {
+	opts = opts.withDefaults()
+	par := layered.Parametrize(g.N(), g.Edges(), m, opts.Rng)
+	return classAugmentations(par, m, w, opts, stats)
+}
+
+// classAugmentations is Algorithm 4 for one augmentation class W: over all
+// good pairs whose weight windows are populated, build the layered graph,
+// solve unweighted matching in L', project each augmenting path to G,
+// decompose (Lemma 4.11), and keep the best component per path. The
+// vertex-disjoint union across pairs is returned.
+//
+// Note: Algorithm 4 as analysed returns only the single best pair's set
+// A(τA,τB); the union with a shared conflict set is pointwise at least as
+// good and converges far faster at coarse granularity, so we take it (every
+// element still has positive gain and disjointness is enforced).
+func classAugmentations(
+	par *layered.Parametrized,
+	m *graph.Matching,
+	w float64,
+	opts Options,
+	stats *Stats,
+) ([]graph.Augmentation, error) {
+	idx := buildViability(par, w, opts.Layered)
+	pairs := layered.EnumerateGoodPairsFiltered(opts.Layered,
+		func(u int) bool { return u == 0 || (u < len(idx.aCount) && idx.aCount[u] > 0) },
+		func(u int) bool { return u < len(idx.bCount) && idx.bCount[u] > 0 },
+	)
+	if len(pairs) > opts.MaxPairsPerClass {
+		pairs = pairs[:opts.MaxPairsPerClass]
+	}
+	var chosen []graph.Augmentation
+	used := make(map[int]struct{})
+
+	for _, tau := range pairs {
+		lay := layered.Build(par, tau, w, opts.Layered)
+		stats.LayeredBuilt++
+		if len(lay.Y) == 0 {
+			continue
+		}
+		lp := lay.LPrimeEdges()
+		if len(lp) == 0 {
+			continue
+		}
+		bip := &bipartite.Bip{N: lay.TotalV, Side: lay.Sides(), Edges: lp}
+		stats.SolverCalls++
+		mPrime, err := opts.Solver(bip)
+		if err != nil {
+			return nil, err
+		}
+		mlp := lay.MatchingLPrime()
+
+		for _, c := range graph.SymmetricDifference(mlp, mPrime) {
+			if !isAugmentingPath(c) {
+				continue
+			}
+			walk := lay.ProjectComponent(c)
+			aug, _, ok := layered.BestAugmentation(m, walk)
+			if !ok || conflictsUsed(aug, used) {
+				continue
+			}
+			markUsed(aug, used)
+			chosen = append(chosen, aug)
+		}
+	}
+	return chosen, nil
+}
+
+// viability pre-buckets the parametrized edges by τ unit for one (W, g) so
+// that the good-pair enumeration only emits pairs whose every weight window
+// holds at least one edge: an empty matched window empties its layer and the
+// vertex filter then disconnects it, and an empty unmatched window leaves no
+// Y edges between two layers, so such pairs cannot contribute.
+type viability struct {
+	aCount, bCount []int
+}
+
+func buildViability(par *layered.Parametrized, w float64, prm layered.Params) viability {
+	maxU, _ := prm.Units()
+	v := viability{
+		aCount: make([]int, maxU+1),
+		bCount: make([]int, maxU+1),
+	}
+	g := prm.Granularity
+	for _, e := range par.A {
+		// Matched window for unit u is ((u-1)gW, ugW], so e belongs to
+		// unit ceil(w(e)/(gW)).
+		u := int(math.Ceil(float64(e.W) / (g * w)))
+		if u >= 0 && u <= maxU {
+			v.aCount[u]++
+		}
+	}
+	for _, e := range par.B {
+		// Unmatched window for unit u is [ugW, (u+1)gW): unit floor.
+		u := int(math.Floor(float64(e.W) / (g * w)))
+		if u >= 0 && u <= maxU {
+			v.bCount[u]++
+		}
+	}
+	return v
+}
+
+// isAugmentingPath reports whether a symmetric-difference component is an
+// augmenting path for ML' (a path whose both end edges come from M', i.e.
+// InFirst false at the extremes).
+func isAugmentingPath(c graph.AlternatingComponent) bool {
+	if c.IsCycle || c.EdgeCount() == 0 {
+		return false
+	}
+	return !c.InFirst[0] && !c.InFirst[c.EdgeCount()-1]
+}
+
+func conflictsUsed(a graph.Augmentation, used map[int]struct{}) bool {
+	for v := range a.Vertices() {
+		if _, ok := used[v]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func markUsed(a graph.Augmentation, used map[int]struct{}) {
+	for v := range a.Vertices() {
+		used[v] = struct{}{}
+	}
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	M     *graph.Matching
+	Stats Stats
+}
+
+// effectiveBudget widens the round budget on tiny graphs: an augmentation
+// on |C| vertices survives a bipartition draw with probability 2^(1-|C|)
+// (Lemma 4.12), so when n itself is small a few dozen cheap extra draws
+// make capture near-certain, whereas the default patience would stall
+// flakily.
+func effectiveBudget(n int, opts Options) (maxRounds, patience int) {
+	maxRounds, patience = opts.MaxRounds, opts.Patience
+	if n <= 12 {
+		if patience < 48 {
+			patience = 48
+		}
+		if maxRounds < 64 {
+			maxRounds = 64
+		}
+	}
+	return maxRounds, patience
+}
+
+// Solve runs the Theorem 1.2 driver: start from the empty matching (or
+// initial if non-nil) and iterate Algorithm 3 rounds until MaxRounds or
+// until Patience consecutive rounds yield no gain.
+func Solve(g *graph.Graph, initial *graph.Matching, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	m := graph.NewMatching(g.N())
+	if initial != nil {
+		m = initial.Clone()
+	}
+	var stats Stats
+	maxRounds, patience := effectiveBudget(g.N(), opts)
+	stalled := 0
+	for r := 0; r < maxRounds && stalled < patience; r++ {
+		gain, err := Round(g, m, opts, &stats)
+		if err != nil {
+			return Result{M: m, Stats: stats}, err
+		}
+		if opts.Trace != nil {
+			opts.Trace(r, m.Weight())
+		}
+		if gain == 0 {
+			stalled++
+		} else {
+			stalled = 0
+		}
+	}
+	return Result{M: m, Stats: stats}, nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/matchutil"
+)
+
+func TestSolveStreamingQualityAndPasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inst := graph.PlantedMatching(50, 250, 100, 200, rng)
+	res, err := SolveStreaming(inst.G, nil, StreamingOptions{
+		Core:  Options{Rng: rng, MaxRounds: 25, Patience: 4},
+		Delta: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.M.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ratio := matchutil.Ratio(res.M, inst.OptWeight); ratio < 0.85 {
+		t.Errorf("streaming ratio = %.4f", ratio)
+	}
+	if res.TotalPasses == 0 || res.MaxRoundPasses == 0 {
+		t.Error("pass accounting missing")
+	}
+	if res.SubroutinePasses > res.MaxRoundPasses {
+		t.Error("subroutine passes exceed round passes")
+	}
+}
+
+func TestSolveStreamingPassesIndependentOfN(t *testing.T) {
+	// Theorem 1.2(2) shape: the per-round pass cost is O_ε(U_S), a
+	// constant in n. Compare two sizes.
+	var maxRound []int
+	for i, n := range []int{40, 120} {
+		rng := rand.New(rand.NewSource(int64(10 + i)))
+		inst := graph.PlantedMatching(n, 4*n, 100, 200, rng)
+		res, err := SolveStreaming(inst.G, nil, StreamingOptions{
+			Core:  Options{Rng: rng, MaxRounds: 10, Patience: 3},
+			Delta: 0.25,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxRound = append(maxRound, res.MaxRoundPasses)
+	}
+	if maxRound[1] > 3*maxRound[0]+5 {
+		t.Errorf("per-round passes grew with n: %v", maxRound)
+	}
+}
+
+func TestSolveMPCQualityAndRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inst := graph.PlantedMatching(50, 250, 100, 200, rng)
+	res, err := SolveMPC(inst.G, nil, MPCOptions{
+		Core:  Options{Rng: rng, MaxRounds: 25, Patience: 4},
+		Delta: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.M.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ratio := matchutil.Ratio(res.M, inst.OptWeight); ratio < 0.85 {
+		t.Errorf("MPC ratio = %.4f", ratio)
+	}
+	if res.TotalRounds == 0 || res.SubroutineRounds == 0 {
+		t.Error("round accounting missing")
+	}
+	if res.PeakLoad == 0 {
+		t.Error("no memory loads recorded")
+	}
+}
+
+func TestSolveMPCRespectsTinyMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := graph.PlantedMatching(40, 400, 100, 200, rng)
+	_, err := SolveMPC(inst.G, nil, MPCOptions{
+		Core:          Options{Rng: rng, MaxRounds: 3},
+		MemPerMachine: 3, // absurd: must trip the accountant
+		Machines:      2,
+	})
+	if err == nil {
+		t.Error("tiny per-machine memory accepted")
+	}
+}
+
+func TestDriversMatchOfflineQuality(t *testing.T) {
+	// The model drivers use approximate subroutines; their output should
+	// land near the offline exact-subroutine reduction on the same
+	// instance.
+	rng := rand.New(rand.NewSource(4))
+	inst := graph.PlantedMatching(40, 160, 100, 150, rng)
+
+	off, err := Solve(inst.G, nil, Options{Rng: rand.New(rand.NewSource(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := SolveStreaming(inst.G, nil, StreamingOptions{
+		Core: Options{Rng: rand.New(rand.NewSource(5))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := SolveMPC(inst.G, nil, MPCOptions{
+		Core: Options{Rng: rand.New(rand.NewSource(5))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offR := matchutil.Ratio(off.M, inst.OptWeight)
+	stR := matchutil.Ratio(st.M, inst.OptWeight)
+	mpR := matchutil.Ratio(mp.M, inst.OptWeight)
+	if stR < offR-0.1 {
+		t.Errorf("streaming ratio %.4f far below offline %.4f", stR, offR)
+	}
+	if mpR < offR-0.1 {
+		t.Errorf("MPC ratio %.4f far below offline %.4f", mpR, offR)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/bipartite"
+	"repro/internal/graph"
+	"repro/internal/mpc"
+)
+
+// MPCOptions configures SolveMPC, the Theorem 1.2(1) driver.
+type MPCOptions struct {
+	// Core carries the reduction parameters; its Solver field is ignored.
+	Core Options
+	// Delta is the (1−δ) target handed to the unweighted MPC subroutine.
+	// Default 0.2.
+	Delta float64
+	// Machines per subroutine instance; 0 means the paper's O(m/n) of the
+	// instance's layered graph.
+	Machines int
+	// MemPerMachine in words; 0 derives a near-linear default from the
+	// instance size.
+	MemPerMachine int
+}
+
+// MPCResult reports the matching with the round accounting of the MPC model.
+type MPCResult struct {
+	M     *graph.Matching
+	Stats Stats
+	// TotalRounds sums, over reduction rounds, one distribution round plus
+	// the maximum subroutine round count (instances run in parallel on
+	// disjoint machine groups, as in the paper).
+	TotalRounds int
+	// MaxRoundRounds is the largest per-reduction-round cost.
+	MaxRoundRounds int
+	// SubroutineRounds is the maximum MPC round count of any single
+	// Unw-Bip-Matching instance (the U_M of the theorem).
+	SubroutineRounds int
+	// PeakLoad is the largest per-machine memory load observed (words).
+	PeakLoad int
+}
+
+// SolveMPC runs the reduction in the simulated MPC model: every (W, τ-pair)
+// instance solves its layered graph with the round-counted MPC bipartite
+// matcher, rounds are charged as the per-reduction-round maximum across
+// instances (they run on disjoint machines in parallel), and per-machine
+// memory loads are validated by the simulator.
+func SolveMPC(g *graph.Graph, initial *graph.Matching, opts MPCOptions) (MPCResult, error) {
+	if opts.Delta <= 0 || opts.Delta > 1 {
+		opts.Delta = 0.2
+	}
+	res := MPCResult{}
+	roundRounds := 0
+	rng := opts.Core.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+
+	coreOpts := opts.Core
+	coreOpts.Rng = rng
+	coreOpts.Solver = func(b *bipartite.Bip) (*graph.Matching, error) {
+		machines := opts.Machines
+		if machines <= 0 {
+			machines = mpc.MachinesFor(len(b.Edges), b.N)
+		}
+		mem := opts.MemPerMachine
+		if mem <= 0 {
+			// Near-linear default: partition share plus O(n) state plus
+			// the coordinator's merge buffer.
+			mem = 2*len(b.Edges)/machines + (machines+2)*b.N + 16
+		}
+		mr, err := bipartite.MPC(b, opts.Delta, machines, mem, rng)
+		if err != nil {
+			return nil, err
+		}
+		if r := mr.Sim.Rounds(); r > roundRounds {
+			roundRounds = r
+		}
+		if r := mr.Sim.Rounds(); r > res.SubroutineRounds {
+			res.SubroutineRounds = r
+		}
+		if p := mr.Sim.PeakLoad(); p > res.PeakLoad {
+			res.PeakLoad = p
+		}
+		return mr.M, nil
+	}
+	coreOpts = coreOpts.withDefaults()
+
+	m := graph.NewMatching(g.N())
+	if initial != nil {
+		m = initial.Clone()
+	}
+	maxRounds, patience := effectiveBudget(g.N(), coreOpts)
+	stalled := 0
+	for r := 0; r < maxRounds && stalled < patience; r++ {
+		roundRounds = 0
+		gain, err := Round(g, m, coreOpts, &res.Stats)
+		if err != nil {
+			return res, err
+		}
+		// One round distributes the bipartition and bucket index; the
+		// instances then run in parallel.
+		res.TotalRounds += 1 + roundRounds
+		if 1+roundRounds > res.MaxRoundRounds {
+			res.MaxRoundRounds = 1 + roundRounds
+		}
+		if gain == 0 {
+			stalled++
+		} else {
+			stalled = 0
+		}
+	}
+	res.M = m
+	return res, nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"repro/internal/bipartite"
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+// StreamingOptions configures SolveStreaming, the Theorem 1.2(2) driver.
+type StreamingOptions struct {
+	// Core carries the reduction parameters; its Solver field is ignored
+	// (the streaming bipartite solver is installed).
+	Core Options
+	// Delta is the (1−δ) target handed to the unweighted streaming
+	// subroutine. Default 0.2.
+	Delta float64
+}
+
+// StreamingResult reports the matching with the pass accounting of the
+// multi-pass streaming model.
+type StreamingResult struct {
+	M     *graph.Matching
+	Stats Stats
+	// TotalPasses is the number of passes over the input stream: per
+	// reduction round, all (W, τ-pair) subroutine instances run in
+	// parallel on the same passes (as in the paper), so a round costs one
+	// bucketing pass plus the maximum pass count over its instances.
+	TotalPasses int
+	// MaxRoundPasses is the most passes any single round needed; the
+	// O_ε(U_S) claim of Theorem 1.2(2) is about this quantity.
+	MaxRoundPasses int
+	// SubroutinePasses is the maximum pass count of any single
+	// Unw-Bip-Matching instance (the U_S of the theorem).
+	SubroutinePasses int
+	// PeakStored is the peak word count held by any subroutine instance.
+	PeakStored int
+}
+
+// SolveStreaming runs the reduction in the multi-pass semi-streaming model:
+// the unweighted subroutine is the layer-growing streaming matcher of
+// internal/bipartite, every instance's stream is the τ-filtered projection
+// of the input stream (consumed in parallel across instances, so passes are
+// counted as the per-round maximum), and rounds repeat until the gain
+// stalls, as in Solve.
+func SolveStreaming(g *graph.Graph, initial *graph.Matching, opts StreamingOptions) (StreamingResult, error) {
+	if opts.Delta <= 0 || opts.Delta > 1 {
+		opts.Delta = 0.2
+	}
+	res := StreamingResult{}
+	roundPasses := 0
+
+	coreOpts := opts.Core
+	coreOpts.Solver = func(b *bipartite.Bip) (*graph.Matching, error) {
+		// In the model, this instance reads the global stream and keeps
+		// only its layered edges; the SliceStream below is that filtered
+		// view, and its pass count is the instance's pass count over the
+		// global stream.
+		s := stream.FromEdges(b.Edges)
+		sr := bipartite.Streaming(b.N, b.Side, s, opts.Delta)
+		if sr.Passes > roundPasses {
+			roundPasses = sr.Passes
+		}
+		if sr.Passes > res.SubroutinePasses {
+			res.SubroutinePasses = sr.Passes
+		}
+		if sr.PeakStored > res.PeakStored {
+			res.PeakStored = sr.PeakStored
+		}
+		return sr.M, nil
+	}
+	coreOpts = coreOpts.withDefaults()
+
+	m := graph.NewMatching(g.N())
+	if initial != nil {
+		m = initial.Clone()
+	}
+	maxRounds, patience := effectiveBudget(g.N(), coreOpts)
+	stalled := 0
+	for r := 0; r < maxRounds && stalled < patience; r++ {
+		roundPasses = 0
+		gain, err := Round(g, m, coreOpts, &res.Stats)
+		if err != nil {
+			return res, err
+		}
+		// One pass buckets edge weights for the viability index and feeds
+		// the parametrization; the instances then share roundPasses passes.
+		res.TotalPasses += 1 + roundPasses
+		if 1+roundPasses > res.MaxRoundPasses {
+			res.MaxRoundPasses = 1 + roundPasses
+		}
+		if gain == 0 {
+			stalled++
+		} else {
+			stalled = 0
+		}
+	}
+	res.M = m
+	return res, nil
+}

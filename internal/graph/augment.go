@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Augmentation describes a modification of a matching: remove the Remove
+// edges (which must all be matched) and then add the Add edges (whose
+// endpoints must be free after the removals). This is the "applying an
+// augmentation" operation of Definition 4.4 in the paper, generalised to
+// arbitrary edge sets so that alternating paths, alternating cycles, and
+// single-edge insertions share one representation.
+type Augmentation struct {
+	Remove []Edge
+	Add    []Edge
+}
+
+// Gain returns w(Add) - w(Remove), the weight increase of applying the
+// augmentation (Definition 4.5).
+func (a Augmentation) Gain() Weight {
+	var g Weight
+	for _, e := range a.Add {
+		g += e.W
+	}
+	for _, e := range a.Remove {
+		g -= e.W
+	}
+	return g
+}
+
+// Vertices returns the set of vertices touched by the augmentation.
+func (a Augmentation) Vertices() map[int]struct{} {
+	vs := make(map[int]struct{}, 2*(len(a.Add)+len(a.Remove)))
+	for _, e := range a.Add {
+		vs[e.U] = struct{}{}
+		vs[e.V] = struct{}{}
+	}
+	for _, e := range a.Remove {
+		vs[e.U] = struct{}{}
+		vs[e.V] = struct{}{}
+	}
+	return vs
+}
+
+// ConflictsWith reports whether the two augmentations touch a common vertex.
+func (a Augmentation) ConflictsWith(b Augmentation) bool {
+	vs := a.Vertices()
+	for _, e := range b.Add {
+		if _, ok := vs[e.U]; ok {
+			return true
+		}
+		if _, ok := vs[e.V]; ok {
+			return true
+		}
+	}
+	for _, e := range b.Remove {
+		if _, ok := vs[e.U]; ok {
+			return true
+		}
+		if _, ok := vs[e.V]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrInvalidAugmentation is returned by Apply when the augmentation does not
+// fit the matching (a Remove edge is absent, or an Add edge conflicts).
+var ErrInvalidAugmentation = errors.New("graph: invalid augmentation")
+
+// Apply applies a to m, returning the realised gain. On error m is left
+// unchanged.
+func Apply(m *Matching, a Augmentation) (Weight, error) {
+	for _, e := range a.Remove {
+		if !m.Has(e.U, e.V) {
+			return 0, fmt.Errorf("%w: remove edge %v not in matching", ErrInvalidAugmentation, e)
+		}
+	}
+	// Validate the add set against a simulated post-removal state.
+	removed := make(map[int]struct{}, 2*len(a.Remove))
+	for _, e := range a.Remove {
+		removed[e.U] = struct{}{}
+		removed[e.V] = struct{}{}
+	}
+	used := make(map[int]struct{}, 2*len(a.Add))
+	for _, e := range a.Add {
+		if e.U == e.V {
+			return 0, fmt.Errorf("%w: self loop %v", ErrInvalidAugmentation, e)
+		}
+		for _, v := range [2]int{e.U, e.V} {
+			if _, dup := used[v]; dup {
+				return 0, fmt.Errorf("%w: add edges share vertex %d", ErrInvalidAugmentation, v)
+			}
+			used[v] = struct{}{}
+			if _, freed := removed[v]; !freed && m.IsMatched(v) {
+				return 0, fmt.Errorf("%w: add edge %v conflicts at vertex %d", ErrInvalidAugmentation, e, v)
+			}
+		}
+	}
+	var gain Weight
+	for _, e := range a.Remove {
+		gain -= e.W
+		// Has was verified above, so Remove cannot fail.
+		if err := m.Remove(e.U, e.V); err != nil {
+			return 0, err
+		}
+	}
+	for _, e := range a.Add {
+		gain += e.W
+		if err := m.Add(e); err != nil {
+			return 0, err
+		}
+	}
+	return gain, nil
+}
+
+// ApplyDisjoint applies each augmentation that does not conflict with the
+// current matching state (greedily, in order), skipping those that fail
+// validation. It returns the total realised gain and the number applied.
+// This is the greedy conflict-resolution step shared by Algorithm 1's
+// Finalize and Algorithm 3's final loop.
+func ApplyDisjoint(m *Matching, augs []Augmentation) (Weight, int) {
+	var total Weight
+	applied := 0
+	for _, a := range augs {
+		g, err := Apply(m, a)
+		if err != nil {
+			continue
+		}
+		total += g
+		applied++
+	}
+	return total, applied
+}
+
+// PathAugmentation builds the augmentation corresponding to an alternating
+// path or cycle C (a sequence of edges alternating between non-matching and
+// matching edges of m), together with the matching neighbourhood CM of
+// Definition 4.3: every matched edge incident to a vertex of C is removed,
+// and the non-matching edges of C are added.
+//
+// The caller supplies only the edges to add (the non-matching edges); the
+// removals are derived from m. The add edges must be vertex disjoint.
+func PathAugmentation(m *Matching, add []Edge) Augmentation {
+	removeSet := make(map[Key]Edge)
+	for _, e := range add {
+		for _, v := range [2]int{e.U, e.V} {
+			if u := m.Mate(v); u != Unmatched {
+				me := Edge{U: v, V: u, W: m.EdgeWeightAt(v)}.Canonical()
+				removeSet[me.EdgeKey()] = me
+			}
+		}
+	}
+	remove := make([]Edge, 0, len(removeSet))
+	for _, e := range removeSet {
+		remove = append(remove, e)
+	}
+	return Augmentation{Remove: remove, Add: add}
+}
+
+// GainOf computes the gain of adding the given vertex-disjoint edge set to m
+// after evicting the conflicting matched edges (the w+ of Definition 4.5 for
+// the induced augmentation).
+func GainOf(m *Matching, add []Edge) Weight {
+	return PathAugmentation(m, add).Gain()
+}

@@ -1,0 +1,128 @@
+package graph
+
+// AlternatingComponent is one connected component of the symmetric
+// difference of two matchings: a simple path or an even cycle whose edges
+// alternate between the two matchings.
+type AlternatingComponent struct {
+	// Vertices in path/cycle order. For cycles the first vertex is not
+	// repeated at the end.
+	Vertices []int
+	// InFirst[i] reports whether the i-th edge of the component belongs to
+	// the first matching passed to SymmetricDifference.
+	InFirst []bool
+	// Weights[i] is the weight of the i-th edge.
+	Weights []Weight
+	IsCycle bool
+}
+
+// EdgeCount returns the number of edges on the component.
+func (c AlternatingComponent) EdgeCount() int { return len(c.InFirst) }
+
+// Edge returns the i-th edge of the component.
+func (c AlternatingComponent) Edge(i int) Edge {
+	u := c.Vertices[i]
+	v := c.Vertices[(i+1)%len(c.Vertices)]
+	return Edge{U: u, V: v, W: c.Weights[i]}
+}
+
+// SymmetricDifference decomposes the symmetric difference of two matchings
+// over the same vertex set into its alternating paths and cycles. Edges
+// present in both matchings (same pair) cancel and do not appear.
+//
+// This is the structural object behind Fact 1.3 and Lemma 4.9: the
+// components are exactly the candidate augmentations between a current
+// matching and an optimal one.
+func SymmetricDifference(a, b *Matching) []AlternatingComponent {
+	n := a.N()
+	if b.N() != n {
+		return nil
+	}
+	type arc struct {
+		to      int
+		w       Weight
+		inFirst bool
+	}
+	adj := make([][]arc, n)
+	addEdge := func(u, v int, w Weight, inFirst bool) {
+		adj[u] = append(adj[u], arc{to: v, w: w, inFirst: inFirst})
+		adj[v] = append(adj[v], arc{to: u, w: w, inFirst: inFirst})
+	}
+	for u := 0; u < n; u++ {
+		if v := a.Mate(u); v > u && !b.Has(u, v) {
+			addEdge(u, v, a.EdgeWeightAt(u), true)
+		}
+		if v := b.Mate(u); v > u && !a.Has(u, v) {
+			addEdge(u, v, b.EdgeWeightAt(u), false)
+		}
+	}
+
+	visited := make([]bool, n)
+	var comps []AlternatingComponent
+
+	// Every vertex has degree at most 2 in the symmetric difference (at most
+	// one edge from each matching), and there are no parallel edges, so each
+	// component is a simple path or a cycle of length >= 4 and can be walked
+	// by never stepping back to the previous vertex.
+	walk := func(start int) AlternatingComponent {
+		comp := AlternatingComponent{Vertices: []int{start}}
+		visited[start] = true
+		cur, prev := start, -1
+		for {
+			var next *arc
+			for i := range adj[cur] {
+				e := &adj[cur][i]
+				if e.to != prev {
+					next = e
+					break
+				}
+			}
+			if next == nil {
+				return comp
+			}
+			comp.InFirst = append(comp.InFirst, next.inFirst)
+			comp.Weights = append(comp.Weights, next.w)
+			if next.to == start {
+				comp.IsCycle = true
+				return comp
+			}
+			visited[next.to] = true
+			comp.Vertices = append(comp.Vertices, next.to)
+			prev = cur
+			cur = next.to
+		}
+	}
+
+	deg := make([]int, n)
+	for v := range adj {
+		deg[v] = len(adj[v])
+	}
+	// Paths first: start walks from degree-1 endpoints so that paths are
+	// traversed end to end.
+	for v := 0; v < n; v++ {
+		if !visited[v] && deg[v] == 1 {
+			comps = append(comps, walk(v))
+		}
+	}
+	// Remaining components are cycles.
+	for v := 0; v < n; v++ {
+		if !visited[v] && deg[v] > 0 {
+			comps = append(comps, walk(v))
+		}
+	}
+	return comps
+}
+
+// ComponentGain returns the gain of switching the component from its
+// first-matching edges to its second-matching edges: w(edges in b) minus
+// w(edges in a).
+func ComponentGain(c AlternatingComponent) Weight {
+	var g Weight
+	for i, inFirst := range c.InFirst {
+		if inFirst {
+			g -= c.Weights[i]
+		} else {
+			g += c.Weights[i]
+		}
+	}
+	return g
+}

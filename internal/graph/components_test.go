@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSymmetricDifferencePath(t *testing.T) {
+	// a: {1-2}; b: {0-1, 2-3} -> one path 0-1-2-3.
+	a := NewMatching(4)
+	mustAdd(a, Edge{U: 1, V: 2, W: 5})
+	b := NewMatching(4)
+	mustAdd(b, Edge{U: 0, V: 1, W: 4})
+	mustAdd(b, Edge{U: 2, V: 3, W: 4})
+
+	comps := SymmetricDifference(a, b)
+	if len(comps) != 1 {
+		t.Fatalf("components = %d, want 1", len(comps))
+	}
+	c := comps[0]
+	if c.IsCycle {
+		t.Error("path reported as cycle")
+	}
+	if c.EdgeCount() != 3 {
+		t.Fatalf("edges = %d, want 3", c.EdgeCount())
+	}
+	if ComponentGain(c) != 3 {
+		t.Errorf("gain = %d, want 3", ComponentGain(c))
+	}
+	// Alternation: edges must alternate between the matchings.
+	for i := 1; i < len(c.InFirst); i++ {
+		if c.InFirst[i] == c.InFirst[i-1] {
+			t.Fatalf("edges %d and %d from same matching", i-1, i)
+		}
+	}
+}
+
+func TestSymmetricDifferenceCycle(t *testing.T) {
+	a := NewMatching(4)
+	mustAdd(a, Edge{U: 0, V: 1, W: 3})
+	mustAdd(a, Edge{U: 2, V: 3, W: 3})
+	b := NewMatching(4)
+	mustAdd(b, Edge{U: 1, V: 2, W: 4})
+	mustAdd(b, Edge{U: 3, V: 0, W: 4})
+
+	comps := SymmetricDifference(a, b)
+	if len(comps) != 1 {
+		t.Fatalf("components = %d, want 1", len(comps))
+	}
+	c := comps[0]
+	if !c.IsCycle {
+		t.Fatal("cycle not detected")
+	}
+	if c.EdgeCount() != 4 {
+		t.Fatalf("edges = %d, want 4", c.EdgeCount())
+	}
+	if ComponentGain(c) != 2 {
+		t.Errorf("gain = %d, want 2", ComponentGain(c))
+	}
+}
+
+func TestSymmetricDifferenceSharedEdgesCancel(t *testing.T) {
+	a := NewMatching(4)
+	mustAdd(a, Edge{U: 0, V: 1, W: 3})
+	b := NewMatching(4)
+	mustAdd(b, Edge{U: 0, V: 1, W: 3})
+	if comps := SymmetricDifference(a, b); len(comps) != 0 {
+		t.Errorf("shared edge produced components: %v", comps)
+	}
+}
+
+func TestSymmetricDifferenceGainSumsToWeightDelta(t *testing.T) {
+	// Property: sum of component gains equals w(b) - w(a) when shared edges
+	// have equal weights. Random matchings on a shared vertex set.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 20
+		a := NewMatching(n)
+		b := NewMatching(n)
+		wOf := make(map[Key]Weight)
+		weightFor := func(u, v int) Weight {
+			k := KeyOf(u, v)
+			if w, ok := wOf[k]; ok {
+				return w
+			}
+			w := Weight(1 + rng.Intn(20))
+			wOf[k] = w
+			return w
+		}
+		for i := 0; i < 12; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			_ = a.Add(Edge{U: u, V: v, W: weightFor(u, v)})
+			u, v = rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			_ = b.Add(Edge{U: u, V: v, W: weightFor(u, v)})
+		}
+		var sum Weight
+		for _, c := range SymmetricDifference(a, b) {
+			sum += ComponentGain(c)
+		}
+		if sum != b.Weight()-a.Weight() {
+			t.Fatalf("trial %d: gains sum to %d, weight delta %d", trial, sum, b.Weight()-a.Weight())
+		}
+	}
+}

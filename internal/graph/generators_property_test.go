@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: PlantedMatching's planted matching is truly optimal — verified
+// against brute force on small instances.
+func TestPlantedMatchingOptimalQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := PlantedMatching(8, 10, 40, 80, rng)
+		best := bruteForceMaxWeight(inst.G)
+		return best == inst.OptWeight
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteForceMaxWeight enumerates all matchings over the edge set (feasible
+// for tiny m) and returns the maximum weight.
+func bruteForceMaxWeight(g *Graph) Weight {
+	edges := g.Edges()
+	var best Weight
+	var rec func(i int, used map[int]bool, w Weight)
+	rec = func(i int, used map[int]bool, w Weight) {
+		if w > best {
+			best = w
+		}
+		for j := i; j < len(edges); j++ {
+			e := edges[j]
+			if used[e.U] || used[e.V] {
+				continue
+			}
+			used[e.U], used[e.V] = true, true
+			rec(j+1, used, w+e.W)
+			delete(used, e.U)
+			delete(used, e.V)
+		}
+	}
+	rec(0, make(map[int]bool), 0)
+	return best
+}
+
+// Property: AugmentingChain's reported optimum matches brute force for both
+// weight regimes (outer-pair wins vs middle wins).
+func TestAugmentingChainOptimalQuick(t *testing.T) {
+	f := func(seed int64, outRaw, midRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		out := Weight(outRaw%20 + 1)
+		mid := Weight(midRaw%20 + 1)
+		inst := AugmentingChain(3, out, mid, rng)
+		return bruteForceMaxWeight(inst.G) == inst.OptWeight
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WeightedCycle's optimum matches brute force for any weight pair.
+func TestWeightedCycleOptimalQuick(t *testing.T) {
+	f := func(aRaw, bRaw uint8, halfRaw uint8) bool {
+		a := Weight(aRaw%30 + 1)
+		b := Weight(bRaw%30 + 1)
+		half := int(halfRaw%3) + 2
+		inst := WeightedCycle(half, a, b)
+		return bruteForceMaxWeight(inst.G) == inst.OptWeight
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ThreeAugWorkload's opt matching applies exactly the planted
+// augmentations (size k + planted count) and validates.
+func TestThreeAugWorkloadConsistencyQuick(t *testing.T) {
+	f := func(seed int64, betaRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		beta := float64(betaRaw%10+1) / 10
+		k := 20
+		inst, m0 := ThreeAugWorkload(k, beta, 15, rng)
+		if m0.Validate() != nil || inst.Opt.Validate() != nil {
+			return false
+		}
+		return inst.Opt.Size() == k+int(beta*float64(k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every generator emits structurally valid graphs (validated by
+// re-adding all edges through the checking constructor).
+func TestGeneratorsEmitValidGraphsQuick(t *testing.T) {
+	f := func(seed int64, pick uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var inst Instance
+		switch pick % 5 {
+		case 0:
+			inst = RandomGraph(20, 40, 50, rng)
+		case 1:
+			inst = RandomBipartite(8, 9, 30, 50, rng)
+		case 2:
+			inst = PlantedMatching(12, 20, 40, 80, rng)
+		case 3:
+			inst = GeometricWeights(15, 30, 2, 8, rng)
+		case 4:
+			inst = AugmentingChain(4, 3, 4, rng)
+		}
+		_, err := FromEdges(inst.G.N(), inst.G.Edges())
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Matching is a set of vertex-disjoint weighted edges over vertices [0, n).
+// It maintains the mate of every matched vertex, the weight of the matched
+// edge at each vertex, the matching size, and the total weight, all in O(1)
+// per update.
+//
+// The zero value is not usable; construct with NewMatching.
+type Matching struct {
+	mate  []int
+	w     []Weight
+	size  int
+	total Weight
+}
+
+// Unmatched is the mate value of an unmatched vertex.
+const Unmatched = -1
+
+// NewMatching returns an empty matching over n vertices.
+func NewMatching(n int) *Matching {
+	m := &Matching{
+		mate: make([]int, n),
+		w:    make([]Weight, n),
+	}
+	for i := range m.mate {
+		m.mate[i] = Unmatched
+	}
+	return m
+}
+
+// N returns the number of vertices the matching is defined over.
+func (m *Matching) N() int { return len(m.mate) }
+
+// Size returns the number of matched edges.
+func (m *Matching) Size() int { return m.size }
+
+// Weight returns the total weight of the matching.
+func (m *Matching) Weight() Weight { return m.total }
+
+// Mate returns the vertex matched to v, or Unmatched.
+func (m *Matching) Mate(v int) int { return m.mate[v] }
+
+// IsMatched reports whether v is matched.
+func (m *Matching) IsMatched(v int) bool { return m.mate[v] != Unmatched }
+
+// EdgeWeightAt returns the weight of the matched edge incident to v, or 0
+// when v is unmatched. This is the paper's w(M(v)) convention (Section 3.2):
+// unmatched vertices behave as if matched by a zero-weight artificial edge.
+func (m *Matching) EdgeWeightAt(v int) Weight {
+	if m.mate[v] == Unmatched {
+		return 0
+	}
+	return m.w[v]
+}
+
+// Has reports whether the pair (u, v) is a matched edge.
+func (m *Matching) Has(u, v int) bool { return u != v && m.mate[u] == v }
+
+var (
+	// ErrConflict is returned when adding an edge whose endpoint is already matched.
+	ErrConflict = errors.New("matching: endpoint already matched")
+	// ErrNotMatched is returned when removing a pair that is not matched.
+	ErrNotMatched = errors.New("matching: pair not matched")
+)
+
+// Add inserts edge e. Both endpoints must currently be unmatched.
+func (m *Matching) Add(e Edge) error {
+	if e.U == e.V {
+		return fmt.Errorf("%w: %v", ErrSelfLoop, e)
+	}
+	if m.mate[e.U] != Unmatched || m.mate[e.V] != Unmatched {
+		return fmt.Errorf("%w: %v", ErrConflict, e)
+	}
+	m.mate[e.U], m.mate[e.V] = e.V, e.U
+	m.w[e.U], m.w[e.V] = e.W, e.W
+	m.size++
+	m.total += e.W
+	return nil
+}
+
+// AddForced inserts edge e, first removing any matched edges that conflict
+// with it. It returns the net weight change.
+func (m *Matching) AddForced(e Edge) Weight {
+	var removed Weight
+	if mu := m.mate[e.U]; mu != Unmatched {
+		removed += m.w[e.U]
+		m.remove(e.U, mu)
+	}
+	if mv := m.mate[e.V]; mv != Unmatched {
+		removed += m.w[e.V]
+		m.remove(e.V, mv)
+	}
+	// Both endpoints are now free; Add cannot fail except on a self loop,
+	// which AddForced callers must exclude.
+	m.mate[e.U], m.mate[e.V] = e.V, e.U
+	m.w[e.U], m.w[e.V] = e.W, e.W
+	m.size++
+	m.total += e.W
+	return e.W - removed
+}
+
+// Remove deletes the matched pair (u, v).
+func (m *Matching) Remove(u, v int) error {
+	if u == v || m.mate[u] != v {
+		return fmt.Errorf("%w: (%d,%d)", ErrNotMatched, u, v)
+	}
+	m.remove(u, v)
+	return nil
+}
+
+func (m *Matching) remove(u, v int) {
+	m.total -= m.w[u]
+	m.size--
+	m.mate[u], m.mate[v] = Unmatched, Unmatched
+	m.w[u], m.w[v] = 0, 0
+}
+
+// Edges returns the matched edges with U < V, in ascending order of U.
+func (m *Matching) Edges() []Edge {
+	out := make([]Edge, 0, m.size)
+	for u, v := range m.mate {
+		if v > u {
+			out = append(out, Edge{U: u, V: v, W: m.w[u]})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Matching) Clone() *Matching {
+	c := &Matching{
+		mate:  make([]int, len(m.mate)),
+		w:     make([]Weight, len(m.w)),
+		size:  m.size,
+		total: m.total,
+	}
+	copy(c.mate, m.mate)
+	copy(c.w, m.w)
+	return c
+}
+
+// Validate checks internal consistency: symmetry of mates, weight agreement,
+// and that size/total match the edge set. It is used by tests and by the
+// invariant checks that guard every augmentation application.
+func (m *Matching) Validate() error {
+	var size int
+	var total Weight
+	for u, v := range m.mate {
+		if v == Unmatched {
+			if m.w[u] != 0 {
+				return fmt.Errorf("matching: unmatched vertex %d has weight %d", u, m.w[u])
+			}
+			continue
+		}
+		if v < 0 || v >= len(m.mate) {
+			return fmt.Errorf("matching: mate of %d out of range: %d", u, v)
+		}
+		if m.mate[v] != u {
+			return fmt.Errorf("matching: asymmetric mates %d->%d->%d", u, v, m.mate[v])
+		}
+		if m.w[u] != m.w[v] {
+			return fmt.Errorf("matching: weight mismatch on (%d,%d): %d vs %d", u, v, m.w[u], m.w[v])
+		}
+		if m.w[u] <= 0 {
+			return fmt.Errorf("matching: non-positive weight on (%d,%d)", u, v)
+		}
+		if v > u {
+			size++
+			total += m.w[u]
+		}
+	}
+	if size != m.size {
+		return fmt.Errorf("matching: size cache %d != actual %d", m.size, size)
+	}
+	if total != m.total {
+		return fmt.Errorf("matching: total cache %d != actual %d", m.total, total)
+	}
+	return nil
+}
+
+// MatchingFromEdges builds a matching over n vertices from the given edges,
+// erroring if they are not vertex disjoint.
+func MatchingFromEdges(n int, edges []Edge) (*Matching, error) {
+	m := NewMatching(n)
+	for _, e := range edges {
+		if err := m.Add(e); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

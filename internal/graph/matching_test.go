@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatchingBasics(t *testing.T) {
+	m := NewMatching(6)
+	if m.Size() != 0 || m.Weight() != 0 {
+		t.Fatal("new matching not empty")
+	}
+	if err := m.Add(Edge{U: 0, V: 1, W: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(Edge{U: 2, V: 3, W: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 2 || m.Weight() != 12 {
+		t.Fatalf("size=%d weight=%d", m.Size(), m.Weight())
+	}
+	if m.Mate(0) != 1 || m.Mate(1) != 0 {
+		t.Error("mate bookkeeping wrong")
+	}
+	if m.EdgeWeightAt(2) != 7 {
+		t.Errorf("EdgeWeightAt(2) = %d", m.EdgeWeightAt(2))
+	}
+	if m.EdgeWeightAt(4) != 0 {
+		t.Errorf("EdgeWeightAt(4) = %d for unmatched", m.EdgeWeightAt(4))
+	}
+	if !m.Has(0, 1) || !m.Has(1, 0) || m.Has(0, 2) {
+		t.Error("Has wrong")
+	}
+	if err := m.Add(Edge{U: 1, V: 4, W: 1}); err == nil {
+		t.Error("conflicting Add accepted")
+	}
+	if err := m.Remove(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 1 || m.Weight() != 7 {
+		t.Fatalf("after remove: size=%d weight=%d", m.Size(), m.Weight())
+	}
+	if err := m.Remove(0, 1); err == nil {
+		t.Error("double remove accepted")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchingAddForced(t *testing.T) {
+	m := NewMatching(6)
+	mustAdd(m, Edge{U: 0, V: 1, W: 5})
+	mustAdd(m, Edge{U: 2, V: 3, W: 3})
+	// Force edge (1,2): evicts both existing edges.
+	delta := m.AddForced(Edge{U: 1, V: 2, W: 10})
+	if delta != 10-8 {
+		t.Errorf("delta = %d, want 2", delta)
+	}
+	if m.Size() != 1 || m.Weight() != 10 {
+		t.Errorf("size=%d weight=%d", m.Size(), m.Weight())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchingEdgesAndClone(t *testing.T) {
+	m := NewMatching(6)
+	mustAdd(m, Edge{U: 4, V: 5, W: 2})
+	mustAdd(m, Edge{U: 0, V: 3, W: 9})
+	edges := m.Edges()
+	if len(edges) != 2 {
+		t.Fatalf("Edges len = %d", len(edges))
+	}
+	if edges[0].U != 0 || edges[0].V != 3 {
+		t.Errorf("edge order: %v", edges)
+	}
+	c := m.Clone()
+	if err := c.Remove(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has(0, 3) {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestMatchingFromEdges(t *testing.T) {
+	if _, err := MatchingFromEdges(4, []Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}}); err == nil {
+		t.Error("overlapping edges accepted")
+	}
+	m, err := MatchingFromEdges(4, []Edge{{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Weight() != 3 {
+		t.Errorf("weight = %d", m.Weight())
+	}
+}
+
+// quick-check invariant 1 of DESIGN.md: under any sequence of random
+// AddForced operations the matching stays internally consistent.
+func TestMatchingInvariantQuick(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20
+		m := NewMatching(n)
+		ops := int(opsRaw)%100 + 1
+		for i := 0; i < ops; i++ {
+			u := rng.Intn(n)
+			v := rng.Intn(n)
+			if u == v {
+				continue
+			}
+			w := Weight(1 + rng.Intn(50))
+			switch rng.Intn(3) {
+			case 0:
+				_ = m.Add(Edge{U: u, V: v, W: w}) // may legitimately fail
+			case 1:
+				m.AddForced(Edge{U: u, V: v, W: w})
+			case 2:
+				if mv := m.Mate(u); mv != Unmatched {
+					_ = m.Remove(u, mv)
+				}
+			}
+			if err := m.Validate(); err != nil {
+				t.Logf("invariant broken after op %d: %v", i, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+package layered
+
+import (
+	"repro/internal/graph"
+)
+
+// Layered is the layered graph L(τA, τB, W, G_P) of Definition 4.10.
+// Layered vertex (v, t) has id t·N + v for layer t in [0, K] (0-indexed; the
+// paper's layer t+1). X edges live inside layers (copies of matched edges
+// passing the τA filter); Y edges connect an R vertex of layer t to an L
+// vertex of layer t+1 (unmatched edges passing the τB filter).
+type Layered struct {
+	Par *Parametrized
+	Tau TauPair
+	W   float64
+	Prm Params
+
+	// K is the number of Y layers; there are K+1 X layers.
+	K      int
+	TotalV int
+	// Removed marks layered vertices deleted by the Definition 4.10
+	// filtering steps.
+	Removed []bool
+	// X contains the surviving in-layer matched edges and Y the surviving
+	// between-layer unmatched edges, both in layered ids with original
+	// weights.
+	X, Y []graph.Edge
+	// InteriorX is the subset of X in layers 1..K-1 (0-indexed), i.e. the
+	// matched edges that remain in L' after the first and last layers'
+	// edges are dropped (Algorithm 4 line 4).
+	InteriorX []graph.Edge
+}
+
+// ID returns the layered id of vertex v in layer t.
+func (l *Layered) ID(t, v int) int { return t*l.Par.N + v }
+
+// Orig returns the original vertex of a layered id.
+func (l *Layered) Orig(id int) int { return id % l.Par.N }
+
+// LayerOf returns the layer of a layered id.
+func (l *Layered) LayerOf(id int) int { return id / l.Par.N }
+
+// Build constructs the layered graph for one good pair and weight W
+// following Definition 4.10: edge filtering by τ windows first, then the
+// two-stage vertex filtering (intermediate layers keep only matched
+// vertices; the first layer keeps a free R vertex only when it is free in M
+// and τA_1 = 0, symmetrically for L vertices in the last layer).
+func Build(par *Parametrized, tau TauPair, w float64, prm Params) *Layered {
+	prm = prm.WithDefaults()
+	k := tau.K()
+	n := par.N
+	l := &Layered{
+		Par: par, Tau: tau, W: w, Prm: prm,
+		K: k, TotalV: (k + 1) * n,
+		Removed: make([]bool, (k+1)*n),
+	}
+	g := prm.Granularity
+
+	// Stage 1: edge filters.
+	hasX := make([]bool, l.TotalV)
+	for t := 0; t <= k; t++ {
+		tA := tau.TauA(t, prm)
+		if tA == 0 {
+			continue // window ((0-g)W, 0] holds no positive weight
+		}
+		lo, hi := (tA-g)*w, tA*w
+		for _, e := range par.A {
+			we := float64(e.W)
+			if we > lo && we <= hi {
+				le := graph.Edge{U: l.ID(t, e.U), V: l.ID(t, e.V), W: e.W}
+				l.X = append(l.X, le)
+				hasX[le.U] = true
+				hasX[le.V] = true
+			}
+		}
+	}
+	for t := 0; t < k; t++ {
+		tB := tau.TauB(t, prm)
+		lo, hi := tB*w, (tB+g)*w
+		for _, e := range par.B {
+			we := float64(e.W)
+			if we < lo || we >= hi {
+				continue
+			}
+			// Orient from the R endpoint in layer t to the L endpoint in
+			// layer t+1.
+			r, lv := e.U, e.V
+			if !par.Side[r] {
+				r, lv = lv, r
+			}
+			l.Y = append(l.Y, graph.Edge{U: l.ID(t, r), V: l.ID(t+1, lv), W: e.W})
+		}
+	}
+
+	// Stage 2: vertex filters.
+	for v := 0; v < n; v++ {
+		// Intermediate layers: unmatched-in-X vertices are removed.
+		for t := 1; t < k; t++ {
+			if !hasX[l.ID(t, v)] {
+				l.Removed[l.ID(t, v)] = true
+			}
+		}
+		// First layer: R vertices without an X edge survive only when free
+		// in M and τA_1 = 0. L vertices without an X edge are isolated
+		// (no Y edge reaches layer-0 L vertices) and are removed too.
+		if !hasX[l.ID(0, v)] {
+			keep := par.Side[v] && !par.M.IsMatched(v) && tau.AUnits[0] == 0
+			if !keep {
+				l.Removed[l.ID(0, v)] = true
+			}
+		}
+		// Last layer: symmetric with L vertices.
+		if !hasX[l.ID(k, v)] {
+			keep := !par.Side[v] && !par.M.IsMatched(v) && tau.AUnits[k] == 0
+			if !keep {
+				l.Removed[l.ID(k, v)] = true
+			}
+		}
+	}
+
+	// Drop edges incident to removed vertices; collect interior X.
+	l.X = l.filterEdges(l.X)
+	l.Y = l.filterEdges(l.Y)
+	for _, e := range l.X {
+		t := l.LayerOf(e.U)
+		if t >= 1 && t <= k-1 {
+			l.InteriorX = append(l.InteriorX, e)
+		}
+	}
+	return l
+}
+
+func (l *Layered) filterEdges(edges []graph.Edge) []graph.Edge {
+	out := edges[:0]
+	for _, e := range edges {
+		if !l.Removed[e.U] && !l.Removed[e.V] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// LPrimeEdges returns the edge set of L': the layered graph with the first
+// and last layers' matched edges removed (Algorithm 4 line 4), i.e. the
+// interior X edges plus all Y edges.
+func (l *Layered) LPrimeEdges() []graph.Edge {
+	out := make([]graph.Edge, 0, len(l.InteriorX)+len(l.Y))
+	out = append(out, l.InteriorX...)
+	out = append(out, l.Y...)
+	return out
+}
+
+// SideOf returns the bipartition side of a layered vertex; layer copies
+// inherit the side of the original vertex, which makes the layered graph
+// bipartite (every X and Y edge crosses).
+func (l *Layered) SideOf(id int) bool { return l.Par.Side[l.Orig(id)] }
+
+// Sides materialises the side array over all layered ids.
+func (l *Layered) Sides() []bool {
+	side := make([]bool, l.TotalV)
+	for id := range side {
+		side[id] = l.SideOf(id)
+	}
+	return side
+}
+
+// MatchingLPrime returns ML', the current matching restricted to L' (the
+// interior X edges), over layered ids.
+func (l *Layered) MatchingLPrime() *graph.Matching {
+	m := graph.NewMatching(l.TotalV)
+	for _, e := range l.InteriorX {
+		// Interior X edges of one layer are a subset of a matching and
+		// layers are vertex-disjoint, so Add cannot fail.
+		if err := m.Add(e); err != nil {
+			panic(err)
+		}
+	}
+	return m
+}

@@ -1,0 +1,162 @@
+package layered
+
+import (
+	"repro/internal/graph"
+)
+
+// Walk is an alternating walk in the original graph G obtained by projecting
+// a layered-graph alternating path (replacing each layered vertex by its
+// original vertex). It may visit vertices and even edges repeatedly — the
+// cycle blow-up of Section 1.1.2 relies on exactly that.
+type Walk struct {
+	// Vertices has one more entry than the edge arrays.
+	Vertices []int
+	// Matched[i] reports whether the i-th edge of the walk is a matching
+	// edge (an X edge of the layered graph).
+	Matched []bool
+	Weights []graph.Weight
+}
+
+// Len returns the number of edges.
+func (w Walk) Len() int { return len(w.Matched) }
+
+// ProjectComponent converts an alternating component of the symmetric
+// difference ML' Δ M' (over layered ids) into a Walk over original vertices.
+// InFirst entries mark ML' (matched) edges.
+func (l *Layered) ProjectComponent(c graph.AlternatingComponent) Walk {
+	w := Walk{
+		Vertices: make([]int, len(c.Vertices)),
+		Matched:  make([]bool, len(c.InFirst)),
+		Weights:  make([]graph.Weight, len(c.Weights)),
+	}
+	for i, id := range c.Vertices {
+		w.Vertices[i] = l.Orig(id)
+	}
+	copy(w.Matched, c.InFirst)
+	copy(w.Weights, c.Weights)
+	return w
+}
+
+// Component is one element of the Lemma 4.11 decomposition: a simple
+// alternating path or even alternating cycle in G.
+type Component struct {
+	Vertices []int
+	Matched  []bool
+	Weights  []graph.Weight
+	IsCycle  bool
+}
+
+// AddEdges returns the component's unmatched edges — the edges an
+// augmentation would add to the matching. They are vertex-disjoint because
+// the component alternates.
+func (c Component) AddEdges() []graph.Edge {
+	var out []graph.Edge
+	for i, matched := range c.Matched {
+		if matched {
+			continue
+		}
+		u := c.Vertices[i]
+		v := c.Vertices[(i+1)%len(c.Vertices)]
+		out = append(out, graph.Edge{U: u, V: v, W: c.Weights[i]})
+	}
+	return out
+}
+
+// Decompose implements Lemma 4.11: the walk, viewed in the orientation
+// induced by the bipartition (in-layer arcs run L→R, between-layer arcs run
+// R→L of the next layer), decomposes into simple alternating cycles plus one
+// simple alternating path. The proof observes that at every vertex all
+// in-arcs share a type and all out-arcs share the other type, so cutting the
+// walk at any repeated vertex keeps both pieces alternating; the standard
+// stack construction below realises exactly that.
+func Decompose(w Walk) []Component {
+	if w.Len() == 0 {
+		return nil
+	}
+	type stackEntry struct {
+		v       int
+		matched bool // edge leading *out* of v (set when the next edge is pushed)
+		weight  graph.Weight
+	}
+	var comps []Component
+	stack := []stackEntry{{v: w.Vertices[0]}}
+	onStack := map[int]int{w.Vertices[0]: 0}
+
+	for i := 0; i < w.Len(); i++ {
+		stack[len(stack)-1].matched = w.Matched[i]
+		stack[len(stack)-1].weight = w.Weights[i]
+		next := w.Vertices[i+1]
+		if j, ok := onStack[next]; ok {
+			// Pop the cycle stack[j..top] closed by the current edge.
+			cycle := Component{IsCycle: true}
+			for idx := j; idx < len(stack); idx++ {
+				cycle.Vertices = append(cycle.Vertices, stack[idx].v)
+				cycle.Matched = append(cycle.Matched, stack[idx].matched)
+				cycle.Weights = append(cycle.Weights, stack[idx].weight)
+			}
+			comps = append(comps, cycle)
+			for idx := j + 1; idx < len(stack); idx++ {
+				delete(onStack, stack[idx].v)
+			}
+			stack = stack[:j+1]
+			stack[j].matched = false
+			stack[j].weight = 0
+			continue
+		}
+		stack = append(stack, stackEntry{v: next})
+		onStack[next] = len(stack) - 1
+	}
+
+	if len(stack) > 1 {
+		path := Component{}
+		for idx, se := range stack {
+			path.Vertices = append(path.Vertices, se.v)
+			if idx < len(stack)-1 {
+				path.Matched = append(path.Matched, se.matched)
+				path.Weights = append(path.Weights, se.weight)
+			}
+		}
+		comps = append(comps, path)
+	}
+	return comps
+}
+
+// BestAugmentation decomposes the walk and returns the component with the
+// largest gain with respect to m (Algorithm 4 lines 10–11), as a ready
+// augmentation. ok is false when no component has positive gain.
+func BestAugmentation(m *graph.Matching, w Walk) (graph.Augmentation, graph.Weight, bool) {
+	var best graph.Augmentation
+	var bestGain graph.Weight
+	found := false
+	for _, c := range Decompose(w) {
+		add := c.AddEdges()
+		if len(add) == 0 {
+			continue
+		}
+		if !disjointAdds(add) {
+			continue
+		}
+		aug := graph.PathAugmentation(m, add)
+		if gain := aug.Gain(); gain > 0 && (!found || gain > bestGain) {
+			best, bestGain, found = aug, gain, true
+		}
+	}
+	return best, bestGain, found
+}
+
+// disjointAdds reports whether the edges share no vertex. Components from
+// Decompose always satisfy this; the check guards against degenerate inputs.
+func disjointAdds(edges []graph.Edge) bool {
+	seen := make(map[int]struct{}, 2*len(edges))
+	for _, e := range edges {
+		if _, ok := seen[e.U]; ok {
+			return false
+		}
+		if _, ok := seen[e.V]; ok {
+			return false
+		}
+		seen[e.U] = struct{}{}
+		seen[e.V] = struct{}{}
+	}
+	return true
+}

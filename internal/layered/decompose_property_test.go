@@ -1,0 +1,134 @@
+package layered
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// randomAlternatingWalk builds a random alternating walk over few vertices
+// so that repeats (and thus cycle pops) are frequent.
+func randomAlternatingWalk(rng *rand.Rand, steps int) Walk {
+	n := 6
+	w := Walk{Vertices: []int{rng.Intn(n)}}
+	matched := rng.Intn(2) == 0
+	for i := 0; i < steps; i++ {
+		cur := w.Vertices[len(w.Vertices)-1]
+		next := rng.Intn(n)
+		for next == cur {
+			next = rng.Intn(n)
+		}
+		w.Vertices = append(w.Vertices, next)
+		w.Matched = append(w.Matched, matched)
+		w.Weights = append(w.Weights, graph.Weight(1+rng.Intn(9)))
+		matched = !matched
+	}
+	return w
+}
+
+// TestDecomposePreservesEdgesQuick: decomposition is a partition of the
+// walk's edges — counts and total weight are preserved exactly.
+func TestDecomposePreservesEdgesQuick(t *testing.T) {
+	f := func(seed int64, stepsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		steps := int(stepsRaw)%20 + 1
+		w := randomAlternatingWalk(rng, steps)
+		comps := Decompose(w)
+
+		var edges int
+		var total graph.Weight
+		for _, c := range comps {
+			edges += len(c.Matched)
+			for _, wt := range c.Weights {
+				total += wt
+			}
+		}
+		var wantTotal graph.Weight
+		for _, wt := range w.Weights {
+			wantTotal += wt
+		}
+		return edges == w.Len() && total == wantTotal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecomposeComponentsSimpleQuick: every component is simple — cycles
+// visit each vertex once; paths repeat no vertex.
+func TestDecomposeComponentsSimpleQuick(t *testing.T) {
+	f := func(seed int64, stepsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		steps := int(stepsRaw)%24 + 1
+		w := randomAlternatingWalk(rng, steps)
+		for _, c := range Decompose(w) {
+			seen := make(map[int]bool, len(c.Vertices))
+			for _, v := range c.Vertices {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecomposeAtMostOnePath: Lemma 4.11 promises a decomposition into
+// cycles plus a single path.
+func TestDecomposeAtMostOnePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		w := randomAlternatingWalk(rng, 1+rng.Intn(25))
+		paths := 0
+		for _, c := range Decompose(w) {
+			if !c.IsCycle {
+				paths++
+			}
+		}
+		if paths > 1 {
+			t.Fatalf("trial %d: %d path components", trial, paths)
+		}
+	}
+}
+
+// TestDecomposeAlternationPreserved: for walks whose repeats respect the
+// bipartite orientation (as all layered-graph projections do), components
+// alternate. We synthesise such walks by walking an alternating-weight
+// even cycle.
+func TestDecomposeAlternationPreserved(t *testing.T) {
+	// Walk around a 6-cycle twice plus the closing matched edge.
+	var w Walk
+	w.Vertices = append(w.Vertices, 0)
+	for rep := 0; rep < 2; rep++ {
+		for i := 0; i < 6; i++ {
+			w.Vertices = append(w.Vertices, (i+1)%6)
+			w.Matched = append(w.Matched, i%2 == 0)
+			w.Weights = append(w.Weights, graph.Weight(10+i%2))
+		}
+	}
+	w.Vertices = append(w.Vertices, 1)
+	w.Matched = append(w.Matched, true)
+	w.Weights = append(w.Weights, 10)
+
+	for _, c := range Decompose(w) {
+		for i := 1; i < len(c.Matched); i++ {
+			if c.Matched[i] == c.Matched[i-1] {
+				t.Fatalf("component lost alternation: %+v", c)
+			}
+		}
+		if c.IsCycle {
+			if len(c.Matched)%2 != 0 {
+				t.Fatalf("odd alternating cycle: %+v", c)
+			}
+			if c.Matched[0] == c.Matched[len(c.Matched)-1] {
+				t.Fatalf("cycle seam does not alternate: %+v", c)
+			}
+		}
+	}
+}

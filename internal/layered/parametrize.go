@@ -1,0 +1,47 @@
+package layered
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Parametrized is the Section 4.3.1 object G_P = (L, R, A, B): a uniformly
+// random bipartition of the vertices into L (Side=false) and R (Side=true),
+// with A the matched and B the unmatched edges crossing the bipartition.
+type Parametrized struct {
+	N    int
+	Side []bool
+	M    *graph.Matching
+	// A holds the crossing matched edges; B the crossing unmatched edges.
+	A, B []graph.Edge
+}
+
+// Parametrize draws a uniform bipartition and splits the edges. Edges whose
+// endpoint pair is matched in m are treated as matching edges regardless of
+// their stored weight (the graph is simple, so the pair identifies the edge).
+func Parametrize(n int, edges []graph.Edge, m *graph.Matching, rng *rand.Rand) *Parametrized {
+	side := make([]bool, n)
+	for v := range side {
+		side[v] = rng.Intn(2) == 1
+	}
+	return ParametrizeWithSide(n, edges, m, side)
+}
+
+// ParametrizeWithSide is Parametrize with a fixed bipartition, used by tests
+// and by Lemma 4.12-style constructions that need a specific assignment.
+func ParametrizeWithSide(n int, edges []graph.Edge, m *graph.Matching, side []bool) *Parametrized {
+	p := &Parametrized{N: n, Side: side, M: m}
+	for _, e := range m.Edges() {
+		if side[e.U] != side[e.V] {
+			p.A = append(p.A, e)
+		}
+	}
+	for _, e := range edges {
+		if side[e.U] == side[e.V] || m.Has(e.U, e.V) {
+			continue
+		}
+		p.B = append(p.B, e)
+	}
+	return p
+}

@@ -1,0 +1,133 @@
+package layered
+
+// TauPair is a good (τA, τB) pair in the sense of Table 1. Entries are
+// stored as integer multiples of the granularity g to keep constraint
+// checking exact: τA_i = AUnits[i]·g and τB_i = BUnits[i]·g.
+type TauPair struct {
+	AUnits []int
+	BUnits []int
+}
+
+// K returns the number of unmatched (τB) layers.
+func (t TauPair) K() int { return len(t.BUnits) }
+
+// TauA returns τA_i as a fraction of W.
+func (t TauPair) TauA(i int, p Params) float64 { return float64(t.AUnits[i]) * p.Granularity }
+
+// TauB returns τB_i as a fraction of W.
+func (t TauPair) TauB(i int, p Params) float64 { return float64(t.BUnits[i]) * p.Granularity }
+
+// IsGood checks the six Table-1 constraints against p:
+//
+//	(A) |τA| ≤ MaxLayers,
+//	(B) |τB| = |τA| − 1,
+//	(C) entries are non-negative multiples of g (structural: units are ints),
+//	(D) every τB entry and every interior τA entry is ≥ 2g,
+//	(E) Στ_B ≤ SumCap,
+//	(F) Στ_B − Στ_A ≥ g.
+func (t TauPair) IsGood(p Params) bool {
+	p = p.WithDefaults()
+	maxU, capU := p.Units()
+	if len(t.AUnits) < 2 || len(t.AUnits) > p.MaxLayers { // (A)
+		return false
+	}
+	if len(t.BUnits) != len(t.AUnits)-1 { // (B)
+		return false
+	}
+	sumA, sumB := 0, 0
+	for i, a := range t.AUnits {
+		if a < 0 || a > maxU { // (C) range
+			return false
+		}
+		if i > 0 && i < len(t.AUnits)-1 && a < 2 { // (D) interior
+			return false
+		}
+		sumA += a
+	}
+	for _, b := range t.BUnits {
+		if b < 2 || b > maxU { // (C)+(D)
+			return false
+		}
+		sumB += b
+	}
+	if sumB > capU { // (E)
+		return false
+	}
+	return sumB-sumA >= 1 // (F)
+}
+
+// EnumerateGoodPairs generates every good (τA, τB) pair under p. The
+// Table-1 constraints prune the space hard: Στ_B ≤ SumCap with every entry
+// ≥ 2g bounds both the layer count and the per-layer choices.
+func EnumerateGoodPairs(p Params) []TauPair {
+	return EnumerateGoodPairsFiltered(p, nil, nil)
+}
+
+// EnumerateGoodPairsFiltered generates the good pairs whose every entry
+// passes the given unit filters: aOK(u) must accept every τA entry and
+// bOK(u) every τB entry (nil filters accept everything). Algorithm 4 uses
+// the filters to enumerate only pairs whose weight windows contain at least
+// one edge of the instance, collapsing the search space from all of Table 1
+// to the populated buckets.
+func EnumerateGoodPairsFiltered(p Params, aOK, bOK func(unit int) bool) []TauPair {
+	p = p.WithDefaults()
+	maxU, capU := p.Units()
+	okA := func(u int) bool { return aOK == nil || aOK(u) }
+	okB := func(u int) bool { return bOK == nil || bOK(u) }
+	var out []TauPair
+
+	for k := 1; k <= p.MaxLayers-1; k++ {
+		if 2*k > capU {
+			break // (D)+(E): k layers need Στ_B >= 2k
+		}
+		bs := make([]int, k)
+		var genB func(i, sumB int)
+		as := make([]int, k+1)
+		var genA func(i, sumA, budget int, emitB []int)
+
+		genA = func(i, sumA, budget int, bUnits []int) {
+			if sumA > budget {
+				return
+			}
+			if i == k+1 {
+				a := make([]int, k+1)
+				b := make([]int, k)
+				copy(a, as)
+				copy(b, bUnits)
+				out = append(out, TauPair{AUnits: a, BUnits: b})
+				return
+			}
+			lo := 0
+			if i > 0 && i < k { // interior entries
+				lo = 2
+			}
+			// Endpoint entries range over every multiple of g including 0
+			// (free endpoint) and 1 (matched edge lighter than the bucket
+			// width); Table 1 restricts only interior entries to >= 2g.
+			for v := lo; v <= maxU && sumA+v <= budget; v++ {
+				if !okA(v) {
+					continue
+				}
+				as[i] = v
+				genA(i+1, sumA+v, budget, bUnits)
+			}
+		}
+		genB = func(i, sumB int) {
+			if i == k {
+				// (F): Στ_A ≤ Στ_B − 1 unit.
+				genA(0, 0, sumB-1, bs)
+				return
+			}
+			// Remaining layers each need ≥ 2 units.
+			for v := 2; v <= maxU && sumB+v+2*(k-1-i) <= capU; v++ {
+				if !okB(v) {
+					continue
+				}
+				bs[i] = v
+				genB(i+1, sumB+v)
+			}
+		}
+		genB(0, 0)
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package layered
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestBlowUp(t *testing.T) {
+	cycle := Walk{
+		Vertices: []int{0, 1, 2, 3},
+		Matched:  []bool{true, false, true, false},
+		Weights:  []graph.Weight{24, 32, 24, 32},
+	}
+	blown, err := BlowUp(cycle, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blown.Len() != 9 {
+		t.Fatalf("blown length = %d, want 9 (2 traversals + closing edge)", blown.Len())
+	}
+	// Must alternate and both end edges are matched.
+	for i := 1; i < blown.Len(); i++ {
+		if blown.Matched[i] == blown.Matched[i-1] {
+			t.Fatal("blow-up broke alternation")
+		}
+	}
+	if !blown.Matched[0] || !blown.Matched[blown.Len()-1] {
+		t.Fatal("blow-up must start and end with matched edges")
+	}
+}
+
+func TestBlowUpRejectsOdd(t *testing.T) {
+	odd := Walk{
+		Vertices: []int{0, 1, 2},
+		Matched:  []bool{true, false, true},
+		Weights:  []graph.Weight{1, 2, 1},
+	}
+	if _, err := BlowUp(odd, 2); !errors.Is(err, ErrNotAlternating) {
+		t.Errorf("odd cycle accepted: %v", err)
+	}
+}
+
+// cycleSetup returns the canonical Section 1.1.2 instance.
+func cycleSetup(t *testing.T) (*graph.Graph, *graph.Matching, Walk) {
+	t.Helper()
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 24)
+	g.MustAddEdge(1, 2, 32)
+	g.MustAddEdge(2, 3, 24)
+	g.MustAddEdge(3, 0, 32)
+	m := graph.NewMatching(4)
+	if err := m.Add(graph.Edge{U: 0, V: 1, W: 24}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(graph.Edge{U: 2, V: 3, W: 24}); err != nil {
+		t.Fatal(err)
+	}
+	cycle := Walk{
+		Vertices: []int{0, 1, 2, 3},
+		Matched:  []bool{true, false, true, false},
+		Weights:  []graph.Weight{24, 32, 24, 32},
+	}
+	return g, m, cycle
+}
+
+func TestBuildWitnessCycleBlowUp(t *testing.T) {
+	// Lemma 4.12, cycle case: the blown-up walk of the canonical 4-cycle is
+	// captured at W=64 with the derived pair (3,3,3,3,3)/(4,4,4,4).
+	g, m, cycle := cycleSetup(t)
+	blown, err := BlowUp(cycle, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wit, err := BuildWitness(g.N(), g.Edges(), m, blown, 64, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA := []int{3, 3, 3, 3, 3}
+	wantB := []int{4, 4, 4, 4}
+	if len(wit.Tau.AUnits) != len(wantA) {
+		t.Fatalf("AUnits = %v", wit.Tau.AUnits)
+	}
+	for i := range wantA {
+		if wit.Tau.AUnits[i] != wantA[i] {
+			t.Fatalf("AUnits = %v, want %v", wit.Tau.AUnits, wantA)
+		}
+	}
+	for i := range wantB {
+		if wit.Tau.BUnits[i] != wantB[i] {
+			t.Fatalf("BUnits = %v, want %v", wit.Tau.BUnits, wantB)
+		}
+	}
+	// Alternating side assignment around the cycle.
+	if wit.Side[0] == wit.Side[1] || wit.Side[1] == wit.Side[2] || wit.Side[2] == wit.Side[3] {
+		t.Errorf("sides not alternating: %v", wit.Side)
+	}
+}
+
+func TestBuildWitnessPath(t *testing.T) {
+	// Lemma 4.12, path case (the Figure 1 instance): walk a-c-d-f with a, f
+	// free; derived pair has zero end entries.
+	g := graph.New(4) // a=0, c=1, d=2, f=3
+	g.MustAddEdge(1, 2, 40)
+	g.MustAddEdge(0, 1, 32)
+	g.MustAddEdge(2, 3, 32)
+	m := graph.NewMatching(4)
+	if err := m.Add(graph.Edge{U: 1, V: 2, W: 40}); err != nil {
+		t.Fatal(err)
+	}
+	walk := Walk{
+		Vertices: []int{0, 1, 2, 3},
+		Matched:  []bool{false, true, false},
+		Weights:  []graph.Weight{32, 40, 32},
+	}
+	wit, err := BuildWitness(g.N(), g.Edges(), m, walk, 64, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wit.Tau.AUnits[0] != 0 || wit.Tau.AUnits[2] != 0 {
+		t.Errorf("end AUnits = %v, want zeros", wit.Tau.AUnits)
+	}
+	if wit.Tau.AUnits[1] != 5 { // ceil(40/8)
+		t.Errorf("middle AUnit = %d, want 5", wit.Tau.AUnits[1])
+	}
+	if wit.Tau.BUnits[0] != 4 || wit.Tau.BUnits[1] != 4 { // floor(32/8)
+		t.Errorf("BUnits = %v, want [4 4]", wit.Tau.BUnits)
+	}
+}
+
+func TestBuildWitnessRejectsLossyWalk(t *testing.T) {
+	// A walk whose rounding slack is non-positive must be refused as not
+	// good — the soundness half of the construction.
+	g := graph.New(4)
+	g.MustAddEdge(1, 2, 40)
+	g.MustAddEdge(0, 1, 16)
+	g.MustAddEdge(2, 3, 16)
+	m := graph.NewMatching(4)
+	if err := m.Add(graph.Edge{U: 1, V: 2, W: 40}); err != nil {
+		t.Fatal(err)
+	}
+	walk := Walk{
+		Vertices: []int{0, 1, 2, 3},
+		Matched:  []bool{false, true, false},
+		Weights:  []graph.Weight{16, 40, 16}, // gain -8: must not be good
+	}
+	if _, err := BuildWitness(g.N(), g.Edges(), m, walk, 64, Params{}); !errors.Is(err, ErrNotGood) {
+		t.Errorf("lossy walk accepted: %v", err)
+	}
+}
+
+func TestBuildWitnessRejectsNonAlternating(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 8)
+	g.MustAddEdge(1, 2, 8)
+	m := graph.NewMatching(3)
+	walk := Walk{
+		Vertices: []int{0, 1, 2},
+		Matched:  []bool{false, false},
+		Weights:  []graph.Weight{8, 8},
+	}
+	if _, err := BuildWitness(g.N(), g.Edges(), m, walk, 16, Params{}); !errors.Is(err, ErrNotAlternating) {
+		t.Errorf("non-alternating walk accepted: %v", err)
+	}
+}
+
+func TestBuildWitnessRandomPlantedOneAugs(t *testing.T) {
+	// Property: every planted single-edge augmentation (free endpoints,
+	// weight aligned to the grid) admits a witness, and the witness layered
+	// graph yields exactly that augmenting edge.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 10
+		g := graph.New(n)
+		u := rng.Intn(n)
+		v := (u + 1 + rng.Intn(n-1)) % n
+		w := graph.Weight(8 * (1 + rng.Intn(8))) // multiples of 8 for W=64
+		g.MustAddEdge(u, v, w)
+		m := graph.NewMatching(n)
+		walk := Walk{
+			Vertices: []int{u, v},
+			Matched:  []bool{false},
+			Weights:  []graph.Weight{w},
+		}
+		wit, err := BuildWitness(n, g.Edges(), m, walk, 64, Params{})
+		if w < 16 {
+			// One-unit edges are not good (τB >= 2g); skip.
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d (w=%d): %v", trial, w, err)
+		}
+		if len(wit.Layered.Y) != 1 {
+			t.Fatalf("trial %d: Y edges = %v", trial, wit.Layered.Y)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package localratio
+
+import (
+	"repro/internal/graph"
+)
+
+// BoundedProcessor is the space-bounded variant of the local-ratio
+// algorithm due to Paz–Schwartzman [PS17] in the simplified form of
+// Ghaffari–Wajc [GW19]: an edge is stacked only when its weight exceeds
+// (1+eps) times the current potential sum of its endpoints. This caps the
+// per-vertex stack contribution at O(log_{1+eps} W) and yields a
+// (1/2 − O(eps))-approximation on *adversarial* edge orders — the algorithm
+// whose 1/2 barrier Theorem 1.1 breaks for random orders.
+type BoundedProcessor struct {
+	alpha []graph.Weight
+	stack []graph.Edge
+	eps   float64
+	peak  int
+}
+
+// NewBounded returns a bounded processor with slack eps in (0, 1].
+func NewBounded(n int, eps float64) *BoundedProcessor {
+	if eps <= 0 || eps > 1 {
+		eps = 0.1
+	}
+	return &BoundedProcessor{alpha: make([]graph.Weight, n), eps: eps}
+}
+
+// Process stacks e when w(e) > (1+eps)(α_u + α_v), raising both potentials
+// by the residual. It reports whether the edge was kept.
+func (p *BoundedProcessor) Process(e graph.Edge) bool {
+	base := p.alpha[e.U] + p.alpha[e.V]
+	if float64(e.W) <= (1+p.eps)*float64(base) {
+		return false
+	}
+	r := e.W - base
+	p.stack = append(p.stack, e)
+	if len(p.stack) > p.peak {
+		p.peak = len(p.stack)
+	}
+	p.alpha[e.U] += r
+	p.alpha[e.V] += r
+	return true
+}
+
+// PeakStackLen returns the maximum stack size observed.
+func (p *BoundedProcessor) PeakStackLen() int { return p.peak }
+
+// Unwind pops the stack greedily into a matching, as in the unbounded
+// variant.
+func (p *BoundedProcessor) Unwind() *graph.Matching {
+	m := graph.NewMatching(len(p.alpha))
+	for i := len(p.stack) - 1; i >= 0; i-- {
+		e := p.stack[i]
+		if !m.IsMatched(e.U) && !m.IsMatched(e.V) {
+			// Endpoints verified free; Add cannot fail.
+			if err := m.Add(e); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return m
+}
+
+// RunBounded processes all edges in order with slack eps and unwinds.
+func RunBounded(n int, edges []graph.Edge, eps float64) *graph.Matching {
+	p := NewBounded(n, eps)
+	for _, e := range edges {
+		p.Process(e)
+	}
+	return p.Unwind()
+}

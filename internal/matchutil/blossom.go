@@ -1,0 +1,150 @@
+package matchutil
+
+import (
+	"repro/internal/graph"
+)
+
+// MaxCardinality computes a maximum cardinality matching in a general
+// (non-bipartite) graph with Edmonds' blossom algorithm in O(V^3). It is the
+// exact unweighted oracle used by the Section 3.1 algorithm's "stored"
+// branch (maximum matching among the M0-free vertices) and by tests at
+// scales where the bitmask DP does not reach.
+func MaxCardinality(g *graph.Graph) *graph.Matching {
+	n := g.N()
+	adj := make([][]int, n)
+	weightOf := make(map[graph.Key]graph.Weight, g.M())
+	for _, e := range g.Edges() {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+		k := e.EdgeKey()
+		if w, ok := weightOf[k]; !ok || e.W > w {
+			weightOf[k] = e.W
+		}
+	}
+
+	b := blossomState{
+		n:     n,
+		adj:   adj,
+		match: make([]int, n),
+		p:     make([]int, n),
+		base:  make([]int, n),
+		used:  make([]bool, n),
+		flag:  make([]bool, n),
+	}
+	for i := range b.match {
+		b.match[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		if b.match[v] == -1 {
+			b.findPath(v)
+		}
+	}
+
+	m := graph.NewMatching(n)
+	for v := 0; v < n; v++ {
+		u := b.match[v]
+		if u > v {
+			// match is symmetric and self-loop free, so Add cannot fail.
+			if err := m.Add(graph.Edge{U: v, V: u, W: weightOf[graph.KeyOf(v, u)]}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return m
+}
+
+type blossomState struct {
+	n     int
+	adj   [][]int
+	match []int
+	p     []int
+	base  []int
+	used  []bool
+	flag  []bool // blossom marks during contraction
+}
+
+func (b *blossomState) lca(a, v int) int {
+	inPath := make([]bool, b.n)
+	for {
+		a = b.base[a]
+		inPath[a] = true
+		if b.match[a] == -1 {
+			break
+		}
+		a = b.p[b.match[a]]
+	}
+	for {
+		v = b.base[v]
+		if inPath[v] {
+			return v
+		}
+		v = b.p[b.match[v]]
+	}
+}
+
+func (b *blossomState) markPath(v, base, child int) {
+	for b.base[v] != base {
+		b.flag[b.base[v]] = true
+		b.flag[b.base[b.match[v]]] = true
+		b.p[v] = child
+		child = b.match[v]
+		v = b.p[b.match[v]]
+	}
+}
+
+func (b *blossomState) findPath(root int) bool {
+	for i := 0; i < b.n; i++ {
+		b.used[i] = false
+		b.p[i] = -1
+		b.base[i] = i
+	}
+	b.used[root] = true
+	queue := make([]int, 0, b.n)
+	queue = append(queue, root)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, to := range b.adj[v] {
+			if b.base[v] == b.base[to] || b.match[v] == to {
+				continue
+			}
+			if to == root || (b.match[to] != -1 && b.p[b.match[to]] != -1) {
+				// Odd cycle: contract the blossom.
+				curBase := b.lca(v, to)
+				for i := range b.flag {
+					b.flag[i] = false
+				}
+				b.markPath(v, curBase, to)
+				b.markPath(to, curBase, v)
+				for i := 0; i < b.n; i++ {
+					if b.flag[b.base[i]] {
+						b.base[i] = curBase
+						if !b.used[i] {
+							b.used[i] = true
+							queue = append(queue, i)
+						}
+					}
+				}
+			} else if b.p[to] == -1 {
+				b.p[to] = v
+				if b.match[to] == -1 {
+					b.augment(to)
+					return true
+				}
+				b.used[b.match[to]] = true
+				queue = append(queue, b.match[to])
+			}
+		}
+	}
+	return false
+}
+
+func (b *blossomState) augment(v int) {
+	for v != -1 {
+		pv := b.p[v]
+		ppv := b.match[pv]
+		b.match[v] = pv
+		b.match[pv] = v
+		v = ppv
+	}
+}

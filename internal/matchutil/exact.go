@@ -1,0 +1,92 @@
+package matchutil
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// MaxExactVertices is the largest vertex count MaxWeightExact accepts. The
+// bitmask dynamic program uses O(2^n) memory; 22 vertices costs 32 MiB.
+const MaxExactVertices = 22
+
+// MaxWeightExact computes a maximum weight matching by dynamic programming
+// over vertex subsets. It is the exact oracle for approximation-ratio tests
+// on small instances (general graphs, not just bipartite). For unweighted
+// maximum matching, call it on a unit-weight copy of the graph.
+//
+// Running time O(2^n · n), memory O(2^n); it errors for n > MaxExactVertices.
+func MaxWeightExact(g *graph.Graph) (*graph.Matching, error) {
+	n := g.N()
+	if n > MaxExactVertices {
+		return nil, fmt.Errorf("matchutil: exact solver limited to %d vertices, got %d", MaxExactVertices, n)
+	}
+	// wAt[u][v] = max weight among parallel (u,v) edges; -1 if absent.
+	wAt := make([][]graph.Weight, n)
+	for i := range wAt {
+		wAt[i] = make([]graph.Weight, n)
+		for j := range wAt[i] {
+			wAt[i][j] = -1
+		}
+	}
+	for _, e := range g.Edges() {
+		if e.W > wAt[e.U][e.V] {
+			wAt[e.U][e.V] = e.W
+			wAt[e.V][e.U] = e.W
+		}
+	}
+
+	size := 1 << n
+	best := make([]graph.Weight, size)
+	choice := make([]int32, size) // matched partner of the lowest set bit, or -1
+	for mask := 1; mask < size; mask++ {
+		v := bits.TrailingZeros(uint(mask))
+		rest := mask &^ (1 << v)
+		// Option 1: leave v unmatched.
+		best[mask] = best[rest]
+		choice[mask] = -1
+		// Option 2: match v with some u in rest.
+		for um := rest; um != 0; {
+			u := bits.TrailingZeros(uint(um))
+			um &^= 1 << u
+			if wAt[v][u] < 0 {
+				continue
+			}
+			cand := wAt[v][u] + best[rest&^(1<<u)]
+			if cand > best[mask] {
+				best[mask] = cand
+				choice[mask] = int32(u)
+			}
+		}
+	}
+
+	m := graph.NewMatching(n)
+	mask := size - 1
+	for mask != 0 {
+		v := bits.TrailingZeros(uint(mask))
+		u := choice[mask]
+		if u < 0 {
+			mask &^= 1 << v
+			continue
+		}
+		if err := m.Add(graph.Edge{U: v, V: int(u), W: wAt[v][u]}); err != nil {
+			return nil, err
+		}
+		mask &^= (1 << v) | (1 << int(u))
+	}
+	return m, nil
+}
+
+// MaxCardinalityExact computes a maximum cardinality matching exactly by
+// running MaxWeightExact on a unit-weight view of g.
+func MaxCardinalityExact(g *graph.Graph) (*graph.Matching, error) {
+	unit := graph.New(g.N())
+	for _, e := range g.Edges() {
+		e.W = 1
+		if err := unit.AddEdge(e); err != nil {
+			return nil, err
+		}
+	}
+	return MaxWeightExact(unit)
+}

@@ -1,0 +1,157 @@
+package matchutil
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// MaxWeightBipartite computes an exact maximum weight matching of a
+// bipartite graph with the Hungarian algorithm (Jonker–Volgenant style
+// shortest augmenting paths with potentials), in O(n³). It is the exact
+// weighted oracle at scales where the bitmask DP cannot reach; side[v]
+// false puts v on the left.
+//
+// The matching maximises total weight over all matchings (not only perfect
+// ones): edges never force negative contributions.
+func MaxWeightBipartite(g *graph.Graph, side []bool) (*graph.Matching, error) {
+	n := g.N()
+	if len(side) != n {
+		return nil, fmt.Errorf("matchutil: side has %d entries for n=%d", len(side), n)
+	}
+	var left, right []int
+	for v := 0; v < n; v++ {
+		if side[v] {
+			right = append(right, v)
+		} else {
+			left = append(left, v)
+		}
+	}
+	// Pad to a square cost matrix; the assignment problem maximises total
+	// weight with zero-weight dummy edges standing for "leave unmatched".
+	size := len(left)
+	if len(right) > size {
+		size = len(right)
+	}
+	if size == 0 {
+		return graph.NewMatching(n), nil
+	}
+	weightAt := make([][]graph.Weight, size)
+	for i := range weightAt {
+		weightAt[i] = make([]graph.Weight, size)
+	}
+	leftIdx := make(map[int]int, len(left))
+	for i, v := range left {
+		leftIdx[v] = i
+	}
+	rightIdx := make(map[int]int, len(right))
+	for j, v := range right {
+		rightIdx[v] = j
+	}
+	for _, e := range g.Edges() {
+		l, r := e.U, e.V
+		if side[l] {
+			l, r = r, l
+		}
+		if side[l] == side[r] {
+			return nil, fmt.Errorf("matchutil: edge %v does not cross the bipartition", e)
+		}
+		i, j := leftIdx[l], rightIdx[r]
+		if e.W > weightAt[i][j] {
+			weightAt[i][j] = e.W
+		}
+	}
+
+	assignment := solveAssignment(weightAt)
+
+	m := graph.NewMatching(n)
+	for i, j := range assignment {
+		if i >= len(left) || j < 0 || j >= len(right) {
+			continue
+		}
+		w := weightAt[i][j]
+		if w <= 0 {
+			continue // dummy pairing
+		}
+		if err := m.Add(graph.Edge{U: left[i], V: right[j], W: w}); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// solveAssignment solves the square max-weight assignment problem and
+// returns the column assigned to each row. Standard O(n³) Hungarian
+// algorithm on the negated (minimisation) matrix with potentials.
+func solveAssignment(w [][]graph.Weight) []int {
+	n := len(w)
+	const inf = int64(1) << 62
+	// cost = max - w  (minimisation form, all costs >= 0).
+	var maxW graph.Weight
+	for i := range w {
+		for j := range w[i] {
+			if w[i][j] > maxW {
+				maxW = w[i][j]
+			}
+		}
+	}
+	cost := func(i, j int) int64 { return int64(maxW - w[i][j]) }
+
+	u := make([]int64, n+1)
+	v := make([]int64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j (1-based)
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]int64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assignment := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assignment[p[j]-1] = j - 1
+		}
+	}
+	return assignment
+}

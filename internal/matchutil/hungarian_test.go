@@ -1,0 +1,108 @@
+package matchutil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func bipSide(nl, nr int) []bool {
+	side := make([]bool, nl+nr)
+	for v := nl; v < nl+nr; v++ {
+		side[v] = true
+	}
+	return side
+}
+
+func TestMaxWeightBipartiteAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		inst := graph.RandomBipartite(7, 7, 25, 50, rng)
+		side := bipSide(7, 7)
+		got, err := MaxWeightBipartite(inst.G, side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		want, err := MaxWeightExact(inst.G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Weight() != want.Weight() {
+			t.Fatalf("trial %d: hungarian %d != exact %d", trial, got.Weight(), want.Weight())
+		}
+	}
+}
+
+func TestMaxWeightBipartiteUnbalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inst := graph.RandomBipartite(4, 9, 20, 30, rng)
+	side := bipSide(4, 9)
+	got, err := MaxWeightBipartite(inst.G, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MaxWeightExact(inst.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Weight() != want.Weight() {
+		t.Fatalf("hungarian %d != exact %d", got.Weight(), want.Weight())
+	}
+}
+
+func TestMaxWeightBipartitePrefersPartialMatching(t *testing.T) {
+	// Leaving vertices unmatched must be allowed: a single heavy edge beats
+	// a perfect matching of light ones here only if partial matchings win.
+	g := graph.New(4) // left 0,1; right 2,3
+	g.MustAddEdge(0, 2, 100)
+	g.MustAddEdge(0, 3, 1)
+	g.MustAddEdge(1, 2, 1)
+	side := []bool{false, false, true, true}
+	m, err := MaxWeightBipartite(g, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Weight() != 100 {
+		t.Errorf("weight = %d, want 100 (partial matching)", m.Weight())
+	}
+}
+
+func TestMaxWeightBipartiteValidation(t *testing.T) {
+	g := graph.New(2)
+	g.MustAddEdge(0, 1, 5)
+	if _, err := MaxWeightBipartite(g, []bool{false}); err == nil {
+		t.Error("short side accepted")
+	}
+	if _, err := MaxWeightBipartite(g, []bool{false, false}); err == nil {
+		t.Error("non-crossing edge accepted")
+	}
+	empty, err := MaxWeightBipartite(graph.New(0), nil)
+	if err != nil || empty.Size() != 0 {
+		t.Error("empty graph mishandled")
+	}
+}
+
+func TestMaxWeightBipartiteQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := 2+rng.Intn(6), 2+rng.Intn(6)
+		inst := graph.RandomBipartite(nl, nr, nl*nr/2+1, 40, rng)
+		got, err := MaxWeightBipartite(inst.G, bipSide(nl, nr))
+		if err != nil {
+			return false
+		}
+		want, err := MaxWeightExact(inst.G)
+		if err != nil {
+			return false
+		}
+		return got.Weight() == want.Weight() && got.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

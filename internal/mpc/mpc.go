@@ -1,0 +1,139 @@
+// Package mpc simulates the Massively Parallel Computation model of
+// Section 2 of the paper (Karloff–Suri–Vassilvitskii [KSV10] and
+// refinements): Γ machines with S bits of memory each compute in synchronous
+// rounds; between rounds every machine sends and receives at most S bits.
+// The simulator executes algorithms in-process while counting rounds and
+// validating per-machine memory loads, so the paper's round-complexity and
+// memory claims (Theorem 1.2(1)) become measurable quantities.
+//
+// Memory is accounted in words (one edge or one vertex id = one word),
+// matching the convention that S = Θ~(n) words in the near-linear regime the
+// paper targets.
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// ErrMemoryExceeded is returned when a machine's declared load exceeds its
+// per-machine memory S.
+var ErrMemoryExceeded = errors.New("mpc: per-machine memory exceeded")
+
+// Simulator tracks rounds, memory, and communication for one MPC execution.
+type Simulator struct {
+	machines  int
+	mem       int
+	rounds    int
+	peak      int
+	totalComm int
+	roundComm int
+	peakComm  int
+}
+
+// New returns a simulator with the given machine count and per-machine
+// memory (in words).
+func New(machines, memPerMachine int) (*Simulator, error) {
+	if machines < 1 {
+		return nil, fmt.Errorf("mpc: need at least 1 machine, got %d", machines)
+	}
+	if memPerMachine < 1 {
+		return nil, fmt.Errorf("mpc: need positive memory, got %d", memPerMachine)
+	}
+	return &Simulator{machines: machines, mem: memPerMachine}, nil
+}
+
+// Machines returns Γ.
+func (s *Simulator) Machines() int { return s.machines }
+
+// MemPerMachine returns S in words.
+func (s *Simulator) MemPerMachine() int { return s.mem }
+
+// Rounds returns the number of completed rounds.
+func (s *Simulator) Rounds() int { return s.rounds }
+
+// PeakLoad returns the largest per-machine load observed.
+func (s *Simulator) PeakLoad() int { return s.peak }
+
+// NextRound advances the round counter. Algorithms call it once per
+// synchronous communication round.
+func (s *Simulator) NextRound() {
+	s.rounds++
+	if s.roundComm > s.peakComm {
+		s.peakComm = s.roundComm
+	}
+	s.roundComm = 0
+}
+
+// Use declares that some machine holds load words during the current round.
+func (s *Simulator) Use(load int) error {
+	if load > s.peak {
+		s.peak = load
+	}
+	if load > s.mem {
+		return fmt.Errorf("%w: load %d > S %d", ErrMemoryExceeded, load, s.mem)
+	}
+	return nil
+}
+
+// ErrCommExceeded is returned when a machine sends or receives more than S
+// words in one round (the Section 2 communication constraint).
+var ErrCommExceeded = errors.New("mpc: per-machine communication exceeded")
+
+// Send declares that some machine transfers words in the current round.
+// Per the model, a machine sends and receives at most S words per round.
+func (s *Simulator) Send(words int) error {
+	s.totalComm += words
+	s.roundComm += words
+	if words > s.mem {
+		return fmt.Errorf("%w: %d words > S %d", ErrCommExceeded, words, s.mem)
+	}
+	return nil
+}
+
+// TotalComm returns the total words communicated across all rounds.
+func (s *Simulator) TotalComm() int { return s.totalComm }
+
+// PeakRoundComm returns the largest per-round communication volume seen at
+// a completed round boundary.
+func (s *Simulator) PeakRoundComm() int {
+	if s.roundComm > s.peakComm {
+		return s.roundComm
+	}
+	return s.peakComm
+}
+
+// PartitionEdges splits edges into k balanced parts uniformly at random (the
+// "no structure assumed" input distribution of Section 2). The input slice
+// is not modified.
+func PartitionEdges(edges []graph.Edge, k int, rng *rand.Rand) [][]graph.Edge {
+	if k < 1 {
+		k = 1
+	}
+	perm := rng.Perm(len(edges))
+	parts := make([][]graph.Edge, k)
+	per := (len(edges) + k - 1) / k
+	for i := range parts {
+		parts[i] = make([]graph.Edge, 0, per)
+	}
+	for i, idx := range perm {
+		parts[i%k] = append(parts[i%k], edges[idx])
+	}
+	return parts
+}
+
+// MachinesFor returns the paper's machine count O(m/n) for an instance with
+// m edges and n vertices, at least 1.
+func MachinesFor(m, n int) int {
+	if n <= 0 {
+		return 1
+	}
+	k := m / n
+	if k < 1 {
+		k = 1
+	}
+	return k
+}

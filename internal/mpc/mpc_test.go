@@ -1,0 +1,128 @@
+package mpc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 10); err == nil {
+		t.Error("zero machines accepted")
+	}
+	if _, err := New(2, 0); err == nil {
+		t.Error("zero memory accepted")
+	}
+	s, err := New(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Machines() != 4 || s.MemPerMachine() != 100 {
+		t.Error("config not stored")
+	}
+}
+
+func TestRoundsAndLoads(t *testing.T) {
+	s, err := New(2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.NextRound()
+	if err := s.Use(30); err != nil {
+		t.Fatal(err)
+	}
+	s.NextRound()
+	if err := s.Use(45); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rounds() != 2 {
+		t.Errorf("rounds = %d, want 2", s.Rounds())
+	}
+	if s.PeakLoad() != 45 {
+		t.Errorf("peak = %d, want 45", s.PeakLoad())
+	}
+	err = s.Use(51)
+	if !errors.Is(err, ErrMemoryExceeded) {
+		t.Errorf("overload error = %v", err)
+	}
+	if s.PeakLoad() != 51 {
+		t.Errorf("peak after overload = %d, want 51", s.PeakLoad())
+	}
+}
+
+func TestPartitionEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	edges := make([]graph.Edge, 103)
+	for i := range edges {
+		edges[i] = graph.Edge{U: i, V: i + 1, W: 1}
+	}
+	parts := PartitionEdges(edges, 4, rng)
+	if len(parts) != 4 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	total := 0
+	seen := make(map[graph.Key]bool)
+	for _, p := range parts {
+		total += len(p)
+		if len(p) < 103/4-1 || len(p) > 103/4+2 {
+			t.Errorf("unbalanced part of size %d", len(p))
+		}
+		for _, e := range p {
+			if seen[e.EdgeKey()] {
+				t.Fatalf("edge %v duplicated across parts", e)
+			}
+			seen[e.EdgeKey()] = true
+		}
+	}
+	if total != 103 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestPartitionEdgesDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	parts := PartitionEdges(nil, 0, rng)
+	if len(parts) != 1 || len(parts[0]) != 0 {
+		t.Errorf("degenerate partition = %v", parts)
+	}
+}
+
+func TestMachinesFor(t *testing.T) {
+	if MachinesFor(1000, 100) != 10 {
+		t.Error("m/n = 10 expected")
+	}
+	if MachinesFor(5, 100) != 1 {
+		t.Error("floor at 1 expected")
+	}
+	if MachinesFor(5, 0) != 1 {
+		t.Error("n=0 floor at 1 expected")
+	}
+}
+
+func TestCommAccounting(t *testing.T) {
+	s, err := New(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send(30); err != nil {
+		t.Fatal(err)
+	}
+	s.NextRound()
+	if err := s.Send(10); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalComm() != 80 {
+		t.Errorf("total comm = %d, want 80", s.TotalComm())
+	}
+	if s.PeakRoundComm() != 70 {
+		t.Errorf("peak round comm = %d, want 70", s.PeakRoundComm())
+	}
+	if err := s.Send(200); !errors.Is(err, ErrCommExceeded) {
+		t.Errorf("oversized send error = %v", err)
+	}
+}

@@ -1,0 +1,118 @@
+package randarrival
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/matchutil"
+	"repro/internal/stream"
+)
+
+// TestRandomVsAdversarialSpace contrasts the Lemma 3.15 space story: random
+// arrival keeps |T| small while an ascending-weight adversarial order
+// inflates it (every later edge beats the frozen potentials).
+func TestRandomVsAdversarialSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 150
+	inst := graph.RandomGraph(n, n*n/6, 1<<20, rng)
+
+	random := RandArrMatching(n, stream.RandomOrder(inst.G, rng), WeightedOptions{Rng: rng})
+
+	asc := inst.G.CopyEdges()
+	sort.Slice(asc, func(i, j int) bool { return asc[i].W < asc[j].W })
+	adversarial := RandArrMatching(n, stream.FromEdges(asc), WeightedOptions{Rng: rng})
+
+	if random.TSize >= adversarial.TSize {
+		t.Errorf("|T| random (%d) not below adversarial ascending (%d)",
+			random.TSize, adversarial.TSize)
+	}
+}
+
+// TestWeightedStillValidOnAdversarialOrder: Theorem 1.1 only promises
+// (1/2+c) for random order, but the algorithm must stay correct (valid
+// matching, >= some weight) on any order.
+func TestWeightedStillValidOnAdversarialOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inst := graph.PlantedMatching(100, 600, 100, 200, rng)
+	orders := map[string][]graph.Edge{
+		"insertion":  inst.G.CopyEdges(),
+		"descending": inst.G.SortedEdges(),
+	}
+	asc := inst.G.SortedEdges()
+	for i, j := 0, len(asc)-1; i < j; i, j = i+1, j-1 {
+		asc[i], asc[j] = asc[j], asc[i]
+	}
+	orders["ascending"] = asc
+
+	for name, edges := range orders {
+		res := RandArrMatching(inst.G.N(), stream.FromEdges(edges), WeightedOptions{Rng: rng})
+		if err := res.M.Validate(); err != nil {
+			t.Fatalf("%s order: %v", name, err)
+		}
+		if matchutil.Ratio(res.M, inst.OptWeight) < 0.4 {
+			t.Errorf("%s order: ratio %.4f collapsed", name, matchutil.Ratio(res.M, inst.OptWeight))
+		}
+	}
+}
+
+// TestWgtAugPathsClassRouting: support edges must reach the finder of the
+// *middle edge's* weight class (the Lemma 3.9 semantics; see the feedClass
+// comment), so a heavy middle edge with slightly lighter side edges is
+// augmented even though the side edges fall in a lower class.
+func TestWgtAugPathsClassRouting(t *testing.T) {
+	// Middle edge 16 (class 5 = [16,32)); side edges 15 (class 4).
+	m0 := graph.NewMatching(4)
+	mustAdd(m0, graph.Edge{U: 1, V: 2, W: 16})
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		wap := NewWgtAugPaths(m0, 1.0, rng)
+		if wap.MarkedCount() == 0 {
+			continue
+		}
+		wap.Feed(graph.Edge{U: 0, V: 1, W: 15})
+		wap.Feed(graph.Edge{U: 2, V: 3, W: 15})
+		m := wap.Finalize()
+		if m.Weight() != 30 {
+			t.Fatalf("seed %d: weight = %d, want 30 (cross-class 3-augmentation)", seed, m.Weight())
+		}
+		return
+	}
+	t.Fatal("middle edge never marked in 20 seeds")
+}
+
+// TestPrefixFractionExtremes: degenerate prefix fractions must not break
+// the algorithm.
+func TestPrefixFractionExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := graph.PlantedMatching(60, 300, 100, 200, rng)
+	for _, p := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		s := stream.RandomOrder(inst.G, rng)
+		res := RandArrMatching(inst.G.N(), s, WeightedOptions{PrefixFraction: p, Rng: rng})
+		if err := res.M.Validate(); err != nil {
+			t.Fatalf("p=%v: %v", p, err)
+		}
+		if res.M.Size() == 0 {
+			t.Errorf("p=%v: empty matching", p)
+		}
+	}
+}
+
+// TestUnweightedBranchDiagnostics: the three branch sizes must be
+// consistent with the returned matching.
+func TestUnweightedBranchDiagnostics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	inst := graph.RandomGraph(60, 500, 1, rng)
+	res := UnweightedRandomArrival(inst.G.N(), stream.RandomOrder(inst.G, rng), UnweightedOptions{})
+	best := res.StoredSize
+	if res.GreedySize > best {
+		best = res.GreedySize
+	}
+	if res.AugmentSize > best {
+		best = res.AugmentSize
+	}
+	if res.M.Size() != best {
+		t.Errorf("returned size %d != max branch size %d", res.M.Size(), best)
+	}
+}

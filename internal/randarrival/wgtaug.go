@@ -1,0 +1,195 @@
+package randarrival
+
+import (
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/localratio"
+	"repro/internal/matchutil"
+	"repro/internal/unwaug"
+)
+
+// WgtAugPaths is Algorithm 1 of the paper: it augments an initial matching
+// M0 using (i) single-edge augmentations found through a streaming
+// approximation over the surplus weights w'(e) = w(e) − w(M0(u)) − w(M0(v)),
+// and (ii) weighted 3-augmentations found by filtering edges down to
+// per-weight-class Unw-3-Aug-Paths instances over a randomly Marked half of
+// M0 (the guessed middle edges).
+type WgtAugPaths struct {
+	m0    *graph.Matching
+	alpha float64
+
+	// markedAt[v] reports whether the M0 edge at v is Marked. Both
+	// endpoints of a marked edge carry the flag.
+	markedAt []bool
+
+	// classes[i] is the Unw-3-Aug-Paths instance for weight class
+	// W_i = [2^(i-1), 2^i); populated lazily for non-empty classes.
+	classes map[int]*unwaug.Finder
+
+	// apx is Approx-Wgt-Matching: the local-ratio processor over surplus
+	// weights. origW remembers the true weight of each edge fed to it so
+	// the final matching is weighted correctly.
+	apx   *localratio.Processor
+	origW map[graph.Key]graph.Weight
+}
+
+// WeightClass returns the index i with w in [2^(i-1), 2^i), i.e. the W_i of
+// Section 3.2.1; WeightClass(0) = 0 by convention.
+func WeightClass(w graph.Weight) int {
+	if w <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(w))
+}
+
+// NewWgtAugPaths implements Initialize of Algorithm 1: it samples the
+// Marked set (each M0 edge independently with probability 1/2) and creates
+// one Unw-3-Aug-Paths instance per non-empty weight class of Marked.
+func NewWgtAugPaths(m0 *graph.Matching, beta float64, rng *rand.Rand) *WgtAugPaths {
+	n := m0.N()
+	w := &WgtAugPaths{
+		m0:       m0,
+		alpha:    0.02,
+		markedAt: make([]bool, n),
+		classes:  make(map[int]*unwaug.Finder),
+		apx:      localratio.New(n),
+		origW:    make(map[graph.Key]graph.Weight),
+	}
+	perClass := make(map[int]*graph.Matching)
+	for _, e := range m0.Edges() {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		w.markedAt[e.U] = true
+		w.markedAt[e.V] = true
+		c := WeightClass(e.W)
+		pm, ok := perClass[c]
+		if !ok {
+			pm = graph.NewMatching(n)
+			perClass[c] = pm
+		}
+		// Subsets of a matching stay vertex disjoint; Add cannot fail.
+		if err := pm.Add(e); err != nil {
+			panic(err)
+		}
+	}
+	for c, pm := range perClass {
+		w.classes[c] = unwaug.New(pm, beta)
+	}
+	return w
+}
+
+// MarkedCount returns the number of marked M0 edges (diagnostics).
+func (w *WgtAugPaths) MarkedCount() int {
+	count := 0
+	for v, marked := range w.markedAt {
+		if marked && w.m0.Mate(v) > v {
+			count++
+		}
+	}
+	return count
+}
+
+// Feed implements Feed-Edge of Algorithm 1.
+func (w *WgtAugPaths) Feed(e graph.Edge) {
+	mu := w.m0.EdgeWeightAt(e.U)
+	mv := w.m0.EdgeWeightAt(e.V)
+
+	// Single-edge augmentation branch (line 7): positive surplus edges go
+	// to Approx-Wgt-Matching under surplus weights.
+	if e.W > mu+mv {
+		surplus := graph.Edge{U: e.U, V: e.V, W: e.W - mu - mv}
+		if w.apx.Process(surplus) {
+			w.origW[e.EdgeKey()] = e.W
+		}
+	}
+
+	// 3-augmentation branch (lines 9–15): only edges with small surplus.
+	if float64(e.W) > (1+w.alpha)*float64(mu+mv) {
+		return
+	}
+	markedU := w.markedAt[e.U]
+	markedV := w.markedAt[e.V]
+	switch {
+	case markedU && !markedV:
+		if float64(e.W) > (1+2*w.alpha)*(0.5*float64(mu)+float64(mv)) {
+			w.feedClass(e, e.U)
+		}
+	case markedV && !markedU:
+		if float64(e.W) > (1+2*w.alpha)*(float64(mu)+0.5*float64(mv)) {
+			w.feedClass(e, e.V)
+		}
+	}
+}
+
+// feedClass routes e to the Unw-3-Aug-Paths instance of the weight class of
+// the marked middle edge at vertex mid. (Algorithm 1 as printed routes by
+// the class of w(e); the analysis of Lemma 3.9 needs the class of the
+// middle edge e_{i+1}, whose instance actually knows that matched edge, so
+// we follow the analysis.)
+func (w *WgtAugPaths) feedClass(e graph.Edge, mid int) {
+	c := WeightClass(w.m0.EdgeWeightAt(mid))
+	if finder, ok := w.classes[c]; ok {
+		finder.Feed(e)
+	}
+}
+
+// Finalize implements Finalize of Algorithm 1: M1 applies the surplus
+// matching M' on top of M0; M2 applies the per-class 3-augmentations from
+// the highest class down, skipping conflicts; the heavier of the two wins.
+func (w *WgtAugPaths) Finalize() *graph.Matching {
+	// M1: unwind the surplus-weight stack into a matching, then overlay it
+	// on M0 with true weights (AddForced evicts the conflicting M0 edges,
+	// realising gain w'(e) per added edge).
+	m1 := w.m0.Clone()
+	surplusM := w.apx.Unwind()
+	for _, se := range surplusM.Edges() {
+		orig, ok := w.origW[se.EdgeKey()]
+		if !ok {
+			continue
+		}
+		m1.AddForced(graph.Edge{U: se.U, V: se.V, W: orig})
+	}
+
+	// M2: greedy non-conflicting 3-augmentations, highest class first.
+	m2 := w.m0.Clone()
+	classIDs := make([]int, 0, len(w.classes))
+	for c := range w.classes {
+		classIDs = append(classIDs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(classIDs)))
+	for _, c := range classIDs {
+		for _, p := range w.classes[c].Finalize() {
+			w.applyThreeAug(m2, p)
+		}
+	}
+
+	if m2.Weight() > m1.Weight() {
+		return m2
+	}
+	return m1
+}
+
+// applyThreeAug applies the weighted 3-augmentation induced by p on m: add
+// o1 = (A,U) and o2 = (V,B) and remove every conflicting matched edge
+// (e1, e2, e3 of the quintuple). It skips augmentations that conflict with
+// previously applied ones or that are no longer gainful on the current m.
+func (w *WgtAugPaths) applyThreeAug(m *graph.Matching, p matchutil.ThreeAugPath) {
+	add := []graph.Edge{
+		{U: p.A, V: p.U, W: p.WA},
+		{U: p.V, V: p.B, W: p.WB},
+	}
+	// The finder guarantees disjointness against its own class, but classes
+	// can collide; verify against the live matching.
+	aug := graph.PathAugmentation(m, add)
+	if aug.Gain() <= 0 {
+		return
+	}
+	if !m.Has(p.U, p.V) {
+		return // middle edge already displaced by a heavier class
+	}
+	_, _ = graph.Apply(m, aug)
+}

@@ -1,0 +1,107 @@
+// Package stream models the (semi-)streaming computation model of
+// Feigenbaum et al. [FKM+05] as used in Section 2 of the paper: edges arrive
+// one at a time, algorithms may take one or more passes, and memory is
+// restricted to O(n polylog n). The package provides edge streams with
+// controllable arrival order (random for Theorem 1.1, adversarial for
+// contrast experiments), a pass counter, and a peak-memory accountant so
+// experiments can verify the paper's space claims empirically.
+package stream
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// EdgeStream delivers the edges of a graph one at a time and can be rewound
+// for multi-pass algorithms.
+type EdgeStream interface {
+	// Next returns the next edge of the current pass; ok is false at the
+	// end of the pass.
+	Next() (e graph.Edge, ok bool)
+	// Reset rewinds to the start of a new pass over the same order.
+	Reset()
+	// Len returns the number of edges in one full pass.
+	Len() int
+}
+
+// SliceStream streams a fixed edge slice in order. It records the number of
+// completed plus started passes so drivers can report pass complexity.
+type SliceStream struct {
+	edges  []graph.Edge
+	pos    int
+	passes int
+}
+
+var _ EdgeStream = (*SliceStream)(nil)
+
+// FromEdges builds a stream over a copy of edges, in the given order.
+func FromEdges(edges []graph.Edge) *SliceStream {
+	cp := make([]graph.Edge, len(edges))
+	copy(cp, edges)
+	return &SliceStream{edges: cp}
+}
+
+// FromGraph streams g's edges in their insertion (adversarial) order.
+func FromGraph(g *graph.Graph) *SliceStream {
+	return FromEdges(g.Edges())
+}
+
+// RandomOrder returns a stream over a uniformly random permutation of g's
+// edges, the arrival model of Theorem 1.1.
+func RandomOrder(g *graph.Graph, rng *rand.Rand) *SliceStream {
+	edges := g.CopyEdges()
+	rng.Shuffle(len(edges), func(i, j int) {
+		edges[i], edges[j] = edges[j], edges[i]
+	})
+	return &SliceStream{edges: edges}
+}
+
+// Next implements EdgeStream.
+func (s *SliceStream) Next() (graph.Edge, bool) {
+	if s.pos == 0 {
+		s.passes++
+	}
+	if s.pos >= len(s.edges) {
+		return graph.Edge{}, false
+	}
+	e := s.edges[s.pos]
+	s.pos++
+	return e, true
+}
+
+// Reset implements EdgeStream.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// Len implements EdgeStream.
+func (s *SliceStream) Len() int { return len(s.edges) }
+
+// Passes returns the number of passes started so far.
+func (s *SliceStream) Passes() int { return s.passes }
+
+// Edges exposes the streamed order (for tests). Callers must not mutate it.
+func (s *SliceStream) Edges() []graph.Edge { return s.edges }
+
+// Accountant tracks the peak number of edges an algorithm holds at once,
+// the empirical counterpart of the paper's O(n polylog n) space bounds
+// (Lemmas 3.3, 3.12, 3.15). Stored items are counted in edges because the
+// semi-streaming model measures memory in units of Θ(log n)-bit words and
+// an edge occupies O(1) of them.
+type Accountant struct {
+	current int
+	peak    int
+}
+
+// Hold records that delta more edges are now stored (delta may be negative).
+func (a *Accountant) Hold(delta int) {
+	a.current += delta
+	if a.current > a.peak {
+		a.peak = a.current
+	}
+}
+
+// Current returns the number of edges currently held.
+func (a *Accountant) Current() int { return a.current }
+
+// Peak returns the maximum simultaneous edge count observed.
+func (a *Accountant) Peak() int { return a.peak }

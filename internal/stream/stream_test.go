@@ -1,0 +1,111 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(6)
+	for i := 0; i < 5; i++ {
+		g.MustAddEdge(i, i+1, graph.Weight(i+1))
+	}
+	return g
+}
+
+func TestSliceStreamOrderAndReset(t *testing.T) {
+	g := testGraph(t)
+	s := FromGraph(g)
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	var got []graph.Edge
+	for e, ok := s.Next(); ok; e, ok = s.Next() {
+		got = append(got, e)
+	}
+	if len(got) != 5 {
+		t.Fatalf("streamed %d edges", len(got))
+	}
+	for i, e := range got {
+		if e != g.Edges()[i] {
+			t.Fatalf("edge %d = %v, want %v", i, e, g.Edges()[i])
+		}
+	}
+	if s.Passes() != 1 {
+		t.Errorf("passes = %d, want 1", s.Passes())
+	}
+	s.Reset()
+	if e, ok := s.Next(); !ok || e != g.Edges()[0] {
+		t.Error("Reset did not rewind")
+	}
+	if s.Passes() != 2 {
+		t.Errorf("passes after reset = %d, want 2", s.Passes())
+	}
+}
+
+func TestRandomOrderIsPermutation(t *testing.T) {
+	g := testGraph(t)
+	rng := rand.New(rand.NewSource(1))
+	s := RandomOrder(g, rng)
+	seen := make(map[graph.Key]int)
+	for e, ok := s.Next(); ok; e, ok = s.Next() {
+		seen[e.EdgeKey()]++
+	}
+	if len(seen) != 5 {
+		t.Fatalf("saw %d distinct edges", len(seen))
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("edge %v seen %d times", k, c)
+		}
+	}
+	// Original graph order untouched.
+	if g.Edges()[0].W != 1 {
+		t.Error("RandomOrder mutated the graph")
+	}
+}
+
+func TestRandomOrderVariesBySeed(t *testing.T) {
+	g := graph.New(40)
+	for i := 0; i < 39; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	a := RandomOrder(g, rand.New(rand.NewSource(1))).Edges()
+	b := RandomOrder(g, rand.New(rand.NewSource(2))).Edges()
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("two seeds produced identical orders (astronomically unlikely)")
+	}
+}
+
+func TestFromEdgesCopies(t *testing.T) {
+	edges := []graph.Edge{{U: 0, V: 1, W: 1}}
+	s := FromEdges(edges)
+	edges[0].W = 99
+	if e, _ := s.Next(); e.W != 1 {
+		t.Error("FromEdges aliases caller slice")
+	}
+}
+
+func TestAccountant(t *testing.T) {
+	var a Accountant
+	a.Hold(5)
+	a.Hold(3)
+	a.Hold(-6)
+	a.Hold(2)
+	if a.Peak() != 8 {
+		t.Errorf("peak = %d, want 8", a.Peak())
+	}
+	if a.Current() != 4 {
+		t.Errorf("current = %d, want 4", a.Current())
+	}
+}

@@ -1,0 +1,126 @@
+package repro
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFacadeRandomArrivalWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inst := PlantedMatching(100, 800, 100, 200, rng)
+	res := RandomArrivalWeighted(inst.G, RandomArrivalOptions{Seed: 7})
+	if err := res.M.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if Ratio(res.M, inst.OptWeight) <= 0.5 {
+		t.Errorf("ratio %.4f not above 1/2", Ratio(res.M, inst.OptWeight))
+	}
+	if res.Branch == "" {
+		t.Error("no branch recorded")
+	}
+}
+
+func TestFacadeRandomArrivalUnweighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inst := RandomGraph(80, 400, 1, rng)
+	m := RandomArrivalUnweighted(inst.G, 3)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() == 0 {
+		t.Error("empty matching")
+	}
+}
+
+func TestFacadeApproxWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := PlantedMatching(40, 150, 100, 200, rng)
+	res, err := ApproxWeighted(inst.G, nil, ApproxOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Ratio(res.M, inst.OptWeight) < 0.85 {
+		t.Errorf("ratio %.4f", Ratio(res.M, inst.OptWeight))
+	}
+	if res.Stats.Rounds == 0 {
+		t.Error("no stats")
+	}
+}
+
+func TestFacadeStreamingAndMPC(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	inst := PlantedMatching(40, 150, 100, 200, rng)
+
+	st, err := ApproxWeightedStreaming(inst.G, nil, ApproxOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalPasses == 0 {
+		t.Error("streaming pass accounting missing")
+	}
+	if Ratio(st.M, inst.OptWeight) < 0.85 {
+		t.Errorf("streaming ratio %.4f", Ratio(st.M, inst.OptWeight))
+	}
+
+	mp, err := ApproxWeightedMPC(inst.G, nil, ApproxOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.TotalRounds == 0 || mp.PeakLoad == 0 {
+		t.Error("MPC accounting missing")
+	}
+	if Ratio(mp.M, inst.OptWeight) < 0.85 {
+		t.Errorf("MPC ratio %.4f", Ratio(mp.M, inst.OptWeight))
+	}
+}
+
+func TestFacadeBaselinesAndIO(t *testing.T) {
+	g := NewGraph(4)
+	g.MustAddEdge(0, 1, 4)
+	g.MustAddEdge(1, 2, 5)
+	g.MustAddEdge(2, 3, 4)
+
+	if w := GreedyWeighted(g).Weight(); w != 5 {
+		t.Errorf("greedy weight = %d, want 5", w)
+	}
+	if w := LocalRatio(g).Weight(); 2*w < 8 {
+		t.Errorf("local ratio weight = %d below half of 8", w)
+	}
+	opt, err := MaxWeightExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Weight() != 8 {
+		t.Errorf("exact = %d, want 8", opt.Weight())
+	}
+	if MaxCardinality(g).Size() != 2 {
+		t.Error("blossom size wrong")
+	}
+
+	parsed, err := ReadGraph(strings.NewReader("p 2 1\n0 1 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.M() != 1 {
+		t.Error("ReadGraph failed")
+	}
+	if _, err := GraphFromEdges(2, []Edge{{U: 0, V: 1, W: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if NewMatching(3).Size() != 0 {
+		t.Error("NewMatching not empty")
+	}
+}
+
+func TestFacadeWeightedCycleEndToEnd(t *testing.T) {
+	// End-to-end: the cycle family is solved through augmenting cycles.
+	inst := WeightedCycle(2, 24, 32)
+	res, err := ApproxWeighted(inst.G, nil, ApproxOptions{Seed: 3, MaxRounds: 80, Patience: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M.Weight() != inst.OptWeight {
+		t.Errorf("weight = %d, want %d", res.M.Weight(), inst.OptWeight)
+	}
+}
