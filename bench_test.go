@@ -163,15 +163,21 @@ func BenchmarkLocalRatioStream(b *testing.B) {
 	}
 }
 
+// BenchmarkLayeredBuild measures the layered-graph construction as the
+// reduction drives it: the parametrization is bucketed once per class
+// weight and every (τA, τB) pair reuses one scratch arena.
 func BenchmarkLayeredBuild(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	inst := graph.PlantedMatching(200, 1000, 100, 200, rng)
 	par := layered.Parametrize(inst.G.N(), inst.G.Edges(), inst.Opt, rng)
 	prm := layered.Params{}.WithDefaults()
 	pairs := layered.EnumerateGoodPairs(prm)
+	scratch := layered.NewScratch()
+	ix := scratch.Index(par, 128, prm)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		layered.Build(par, pairs[i%len(pairs)], 128, prm)
+		layered.BuildIndexed(ix, pairs[i%len(pairs)], scratch)
 	}
 }
 
@@ -212,6 +218,41 @@ func BenchmarkReductionRound(b *testing.B) {
 		var stats core.Stats
 		m := graph.NewMatching(inst.G.N())
 		if _, err := core.Round(inst.G, m, core.Options{Rng: rng}, &stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRound is the headline perf benchmark of the reduction's hot path:
+// one Algorithm 3 round on the medium E12 convergence workload
+// (PlantedMatching n=120, m=600, the instance E12Convergence runs at full
+// scale). Tracked across PRs via BENCH_*.json.
+func BenchmarkRound(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	inst := graph.PlantedMatching(120, 600, 100, 200, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var stats core.Stats
+		m := graph.NewMatching(inst.G.N())
+		if _, err := core.Round(inst.G, m, core.Options{Rng: rng}, &stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundParallel is BenchmarkRound with the class sweep on a worker
+// pool (results are identical by construction; only wall-clock differs, and
+// only on multi-core hardware).
+func BenchmarkRoundParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	inst := graph.PlantedMatching(120, 600, 100, 200, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var stats core.Stats
+		m := graph.NewMatching(inst.G.N())
+		if _, err := core.Round(inst.G, m, core.Options{Rng: rng, Workers: 4}, &stats); err != nil {
 			b.Fatal(err)
 		}
 	}

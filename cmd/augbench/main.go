@@ -3,12 +3,15 @@
 //
 // Usage:
 //
-//	augbench [-experiment E1,E4] [-seed 1] [-trials 5] [-quick]
+//	augbench [-experiment E1,E4] [-seed 1] [-trials 5] [-quick] [-json FILE]
 //
-// With no -experiment flag every experiment (E1..E10) runs.
+// With no -experiment flag every experiment (E1..E12) runs. With -json the
+// tables are additionally written to FILE as machine-readable JSON (the
+// BENCH_*.json format the perf ledger tracks across PRs).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,12 +27,30 @@ func main() {
 	}
 }
 
+// jsonTable mirrors bench.Table with stable, lower-case field names so the
+// emitted files stay diffable across PRs.
+type jsonTable struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Claim  string     `json:"claim,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+type jsonReport struct {
+	Seed   int64       `json:"seed"`
+	Trials int         `json:"trials"`
+	Quick  bool        `json:"quick"`
+	Tables []jsonTable `json:"tables"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("augbench", flag.ContinueOnError)
 	experiments := fs.String("experiment", "", "comma-separated experiment ids (default: all)")
 	seed := fs.Int64("seed", 1, "random seed")
 	trials := fs.Int("trials", 5, "trials per table row")
 	quick := fs.Bool("quick", false, "shrink instance sizes")
+	jsonPath := fs.String("json", "", "also write the tables as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,6 +62,7 @@ func run(args []string) error {
 	if *experiments != "" {
 		ids = strings.Split(*experiments, ",")
 	}
+	report := jsonReport{Seed: *seed, Trials: *trials, Quick: *quick}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		runner, ok := registry[id]
@@ -49,6 +71,19 @@ func run(args []string) error {
 		}
 		for _, t := range runner(cfg) {
 			t.Render(os.Stdout)
+			report.Tables = append(report.Tables, jsonTable{
+				ID: t.ID, Title: t.Title, Claim: t.Claim, Header: t.Header, Rows: t.Rows,
+			})
+		}
+	}
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			return err
 		}
 	}
 	return nil

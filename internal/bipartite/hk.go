@@ -55,10 +55,34 @@ type Result struct {
 	Phases int
 }
 
+// Scratch is a reusable arena for the Hopcroft–Karp solvers: the CSR
+// adjacency and every per-vertex working array are kept across calls, so a
+// hot loop solving many instances (the reduction tries hundreds of layered
+// graphs per round) allocates only the returned matching. A Scratch is not
+// safe for concurrent use; use one per worker.
+type Scratch struct {
+	off       []int32 // CSR offsets per left vertex, len N+1
+	to        []int32 // CSR entry: right endpoint
+	eidx      []int32 // CSR entry: index into b.Edges
+	matchL    []int32 // left vertex -> matched right vertex, or -1
+	matchR    []int32 // right vertex -> matched left vertex, or -1
+	matchEdge []int32 // left vertex -> index of its matched edge in b.Edges
+	dist      []int32
+	queue     []int32
+}
+
+// NewScratch returns an empty arena.
+func NewScratch() *Scratch { return &Scratch{} }
+
 // HopcroftKarp computes a maximum cardinality matching exactly. It is the
 // δ = 0 oracle of the reduction.
 func HopcroftKarp(b *Bip) Result {
-	return boundedHK(b, math.MaxInt)
+	return boundedHK(b, math.MaxInt32, nil)
+}
+
+// HopcroftKarpScratch is HopcroftKarp reusing the given arena's storage.
+func HopcroftKarpScratch(b *Bip, s *Scratch) Result {
+	return boundedHK(b, math.MaxInt32, s)
 }
 
 // Approx computes a (1−δ)-approximate maximum matching by running
@@ -66,109 +90,167 @@ func HopcroftKarp(b *Bip) Result {
 // most 2·ceil(1/δ)−1. By Fact 1.3 the result is (1 − δ)-approximate (a
 // matching with no augmenting path shorter than 2ℓ−1 is (1−1/ℓ)-approximate).
 func Approx(b *Bip, delta float64) Result {
+	return ApproxScratch(b, delta, nil)
+}
+
+// ApproxScratch is Approx reusing the given arena's storage.
+func ApproxScratch(b *Bip, delta float64, s *Scratch) Result {
 	if delta <= 0 {
-		return HopcroftKarp(b)
+		return boundedHK(b, math.MaxInt32, s)
 	}
 	ell := int(math.Ceil(1 / delta))
-	return boundedHK(b, 2*ell-1)
+	return boundedHK(b, 2*ell-1, s)
+}
+
+// prepare sizes the arena for b and builds the CSR adjacency of the left
+// vertices (entries keep b's edge order per vertex, matching the iteration
+// order of the former slice-of-slices adjacency).
+func (s *Scratch) prepare(b *Bip) {
+	n, m := b.N, len(b.Edges)
+	if cap(s.off) < n+1 {
+		s.off = make([]int32, n+1)
+		s.matchL = make([]int32, n)
+		s.matchR = make([]int32, n)
+		s.matchEdge = make([]int32, n)
+		s.dist = make([]int32, n)
+	}
+	s.off = s.off[:n+1]
+	s.matchL, s.matchR = s.matchL[:n], s.matchR[:n]
+	s.matchEdge, s.dist = s.matchEdge[:n], s.dist[:n]
+	if cap(s.to) < m {
+		s.to = make([]int32, m)
+		s.eidx = make([]int32, m)
+	}
+	s.to, s.eidx = s.to[:m], s.eidx[:m]
+	s.queue = s.queue[:0]
+
+	for i := range s.off {
+		s.off[i] = 0
+	}
+	for _, e := range b.Edges {
+		l := e.U
+		if b.Side[l] {
+			l = e.V
+		}
+		s.off[l+1]++
+	}
+	for v := 0; v < n; v++ {
+		s.off[v+1] += s.off[v]
+	}
+	// Fill entries; s.dist doubles as the per-vertex cursor here and is
+	// reinitialised by every BFS.
+	cur := s.dist
+	for v := 0; v < n; v++ {
+		cur[v] = s.off[v]
+	}
+	for i, e := range b.Edges {
+		l, r := e.U, e.V
+		if b.Side[l] {
+			l, r = r, l
+		}
+		s.to[cur[l]] = int32(r)
+		s.eidx[cur[l]] = int32(i)
+		cur[l]++
+	}
 }
 
 // boundedHK runs HK phases while the shortest augmenting path length is at
 // most maxLen.
-func boundedHK(b *Bip, maxLen int) Result {
-	adj := b.leftAdjacency()
-	matchL := make([]int, b.N) // for left vertices: matched right vertex
-	matchR := make([]int, b.N) // for right vertices: matched left vertex
-	for i := range matchL {
-		matchL[i] = -1
-		matchR[i] = -1
+func boundedHK(b *Bip, maxLen int, s *Scratch) Result {
+	if s == nil {
+		s = NewScratch()
 	}
-	dist := make([]int, b.N)
+	s.prepare(b)
+	for i := range s.matchL {
+		s.matchL[i] = -1
+		s.matchR[i] = -1
+		s.matchEdge[i] = -1
+	}
 	const inf = math.MaxInt32
 
-	bfs := func() int {
-		queue := make([]int, 0, b.N)
+	bfs := func() int32 {
+		// The queue is a head-indexed window over a buffer reused across
+		// phases; the former queue = queue[1:] pop kept the whole backing
+		// array alive and shifted it O(n) times per phase.
+		queue := s.queue[:0]
 		for v := 0; v < b.N; v++ {
-			dist[v] = inf
-			if !b.Side[v] && matchL[v] == -1 {
-				dist[v] = 0
-				queue = append(queue, v)
+			s.dist[v] = inf
+			if !b.Side[v] && s.matchL[v] == -1 {
+				s.dist[v] = 0
+				queue = append(queue, int32(v))
 			}
 		}
-		shortest := inf
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			if dist[u] >= shortest {
+		s.queue = queue
+		var shortest int32 = inf
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			if s.dist[u] >= shortest {
 				continue
 			}
-			for _, ie := range adj[u] {
-				w := matchR[ie.To]
+			for j := s.off[u]; j < s.off[u+1]; j++ {
+				w := s.matchR[s.to[j]]
 				if w == -1 {
 					// Augmenting path of length 2·dist[u]+1 found.
-					if 2*dist[u]+1 < shortest {
-						shortest = 2*dist[u] + 1
+					if 2*s.dist[u]+1 < shortest {
+						shortest = 2*s.dist[u] + 1
 					}
 					continue
 				}
-				if dist[w] == inf {
-					dist[w] = dist[u] + 1
+				if s.dist[w] == inf {
+					s.dist[w] = s.dist[u] + 1
 					queue = append(queue, w)
 				}
 			}
 		}
+		s.queue = queue[:0]
 		return shortest
 	}
 
-	var dfs func(u int) bool
-	dfs = func(u int) bool {
-		for _, ie := range adj[u] {
-			w := matchR[ie.To]
-			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
-				matchL[u] = ie.To
-				matchR[ie.To] = u
+	var dfs func(u int32) bool
+	dfs = func(u int32) bool {
+		for j := s.off[u]; j < s.off[u+1]; j++ {
+			r := s.to[j]
+			w := s.matchR[r]
+			if w == -1 || (s.dist[w] == s.dist[u]+1 && dfs(w)) {
+				s.matchL[u] = r
+				s.matchR[r] = u
+				s.matchEdge[u] = s.eidx[j]
 				return true
 			}
 		}
-		dist[u] = inf
+		s.dist[u] = inf
 		return false
 	}
 
 	phases := 0
 	for {
 		shortest := bfs()
-		if shortest == inf || shortest > maxLen {
+		if shortest == inf || int(shortest) > maxLen {
 			break
 		}
 		phases++
 		for v := 0; v < b.N; v++ {
-			if !b.Side[v] && matchL[v] == -1 {
-				dfs(v)
+			if !b.Side[v] && s.matchL[v] == -1 {
+				dfs(int32(v))
 			}
 		}
 	}
 
-	return Result{M: matchingFrom(b, matchL), Phases: phases}
+	return Result{M: s.matching(b), Phases: phases}
 }
 
-// matchingFrom converts a left-match array into a graph.Matching, recovering
-// the heaviest available weight per matched pair (weights are irrelevant to
-// cardinality solvers but preserved for callers).
-func matchingFrom(b *Bip, matchL []int) *graph.Matching {
-	weightOf := make(map[graph.Key]graph.Weight, len(b.Edges))
-	for _, e := range b.Edges {
-		k := e.EdgeKey()
-		if w, ok := weightOf[k]; !ok || e.W > w {
-			weightOf[k] = e.W
-		}
-	}
+// matching converts the arena's left-match state into a graph.Matching. The
+// matched edge index is carried through the search, so the edge weight is a
+// direct lookup instead of the former per-call weight map over all edges.
+func (s *Scratch) matching(b *Bip) *graph.Matching {
 	m := graph.NewMatching(b.N)
-	for l, r := range matchL {
+	for l := range s.matchL {
+		r := s.matchL[l]
 		if b.Side[l] || r == -1 {
 			continue
 		}
 		// matchL is a valid matching by construction; Add cannot fail.
-		if err := m.Add(graph.Edge{U: l, V: r, W: weightOf[graph.KeyOf(l, r)]}); err != nil {
+		if err := m.Add(graph.Edge{U: l, V: int(r), W: b.Edges[s.matchEdge[l]].W}); err != nil {
 			panic(err)
 		}
 	}

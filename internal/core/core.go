@@ -17,7 +17,9 @@ package core
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
+	"sync"
 
 	"repro/internal/bipartite"
 	"repro/internal/graph"
@@ -66,6 +68,22 @@ type Options struct {
 	// augmentation class, bounding per-round work on instances with many
 	// populated weight buckets. Default 800.
 	MaxPairsPerClass int
+	// Workers bounds the worker pool of Round's per-class sweep
+	// (augmentation classes are independent until the final merge). 0 or 1
+	// runs the sweep sequentially. The sweep is forced sequential when a
+	// single Solver closure is installed without a SolverFactory — one
+	// closure cannot safely serve several workers. Results are merged in
+	// descending class-weight order, so for a fixed Rng seed the outcome is
+	// bit-for-bit identical at any worker count.
+	Workers int
+	// SolverFactory, when set, takes precedence over Solver: it is invoked
+	// once per augmentation class with that class's private Rng (split
+	// deterministically from Options.Rng in class order) and returns the
+	// Solver for the class. It is how randomized or stateful subroutines
+	// stay reproducible under the parallel sweep. When neither Solver nor
+	// SolverFactory is set, each worker uses an exact Hopcroft–Karp solver
+	// backed by its own scratch arena.
+	SolverFactory func(rng *rand.Rand) Solver
 	// Trace, when non-nil, receives the matching weight after every round
 	// (convergence curves for the E12 experiment).
 	Trace func(round int, weight graph.Weight)
@@ -76,8 +94,11 @@ func (o Options) withDefaults() Options {
 	if o.ClassBase <= 1 {
 		o.ClassBase = 2
 	}
-	if o.Solver == nil {
-		o.Solver = ExactSolver()
+	// Solver deliberately stays nil when unset: Round distinguishes "no
+	// solver configured" (scratch-backed exact solver per worker) from a
+	// caller-installed closure (forces the sweep sequential).
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 	if o.Rng == nil {
 		o.Rng = rand.New(rand.NewSource(1))
@@ -154,9 +175,84 @@ func ClassWeights(g *graph.Graph, base float64, prm layered.Params) []float64 {
 	return dedup
 }
 
+// classWorker is the per-worker state of Round's class sweep: one layered
+// scratch arena, a stamped conflict set, and the solver source, so parallel
+// workers share nothing.
+type classWorker struct {
+	scratch   *layered.Scratch
+	newSolver func(rng *rand.Rand) Solver
+
+	// used is the class-level conflict set as a stamp array over original
+	// vertices (advancing the stamp clears it in O(1) between classes).
+	used      []uint32
+	usedStamp uint32
+}
+
+func (w *classWorker) resetUsed(n int) {
+	if cap(w.used) < n {
+		w.used = make([]uint32, n)
+		w.usedStamp = 0
+	}
+	w.used = w.used[:n]
+	w.usedStamp++
+	if w.usedStamp == 0 {
+		clear(w.used)
+		w.usedStamp = 1
+	}
+}
+
+func (w *classWorker) conflicts(a graph.Augmentation) bool {
+	for _, e := range a.Add {
+		if w.used[e.U] == w.usedStamp || w.used[e.V] == w.usedStamp {
+			return true
+		}
+	}
+	for _, e := range a.Remove {
+		if w.used[e.U] == w.usedStamp || w.used[e.V] == w.usedStamp {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *classWorker) mark(a graph.Augmentation) {
+	for _, e := range a.Add {
+		w.used[e.U] = w.usedStamp
+		w.used[e.V] = w.usedStamp
+	}
+	for _, e := range a.Remove {
+		w.used[e.U] = w.usedStamp
+		w.used[e.V] = w.usedStamp
+	}
+}
+
+func newClassWorker(opts Options) *classWorker {
+	w := &classWorker{scratch: layered.NewScratch()}
+	switch {
+	case opts.SolverFactory != nil:
+		w.newSolver = opts.SolverFactory
+	case opts.Solver != nil:
+		w.newSolver = func(*rand.Rand) Solver { return opts.Solver }
+	default:
+		// Default oracle: exact Hopcroft–Karp over a worker-private arena,
+		// so the hundreds of solver calls per round stop allocating their
+		// adjacency and search state.
+		hk := bipartite.NewScratch()
+		solver := Solver(func(b *bipartite.Bip) (*graph.Matching, error) {
+			return bipartite.HopcroftKarpScratch(b, hk).M, nil
+		})
+		w.newSolver = func(*rand.Rand) Solver { return solver }
+	}
+	return w
+}
+
 // Round executes one Algorithm 3 round on m: compute AW for every class
 // weight (Algorithm 4), then greedily apply non-conflicting augmentations
 // from the heaviest class down. It returns the realised gain.
+//
+// Classes only read (par, m) and are merged by class index, so with
+// Workers > 1 the sweep runs on a bounded pool while staying bit-for-bit
+// identical to the sequential sweep for a fixed Options.Rng seed.
 func Round(g *graph.Graph, m *graph.Matching, opts Options, stats *Stats) (graph.Weight, error) {
 	opts = opts.withDefaults()
 	weights := ClassWeights(g, opts.ClassBase, opts.Layered)
@@ -166,13 +262,75 @@ func Round(g *graph.Graph, m *graph.Matching, opts Options, stats *Stats) (graph
 	// not the per-class analysis).
 	par := layered.Parametrize(g.N(), g.Edges(), m, opts.Rng)
 
-	var all []graph.Augmentation
-	for _, w := range weights {
-		augs, err := classAugmentations(par, m, w, opts, stats)
-		if err != nil {
-			return 0, err
+	// Split the Rng per class up-front, in class order, so a factory-built
+	// solver sees the same stream no matter which worker runs its class.
+	// Without a factory the default solvers consume no randomness and the
+	// split is skipped to keep the Rng stream (and thus all fixed-seed
+	// results) identical to the sequential code path.
+	var seeds []int64
+	if opts.SolverFactory != nil {
+		seeds = make([]int64, len(weights))
+		for i := range seeds {
+			seeds[i] = opts.Rng.Int63()
 		}
-		all = append(all, augs...)
+	}
+
+	workers := opts.Workers
+	if opts.SolverFactory == nil && opts.Solver != nil {
+		workers = 1
+	}
+	if workers > len(weights) {
+		workers = len(weights)
+	}
+
+	perClass := make([][]graph.Augmentation, len(weights))
+	perStats := make([]Stats, len(weights))
+	perErr := make([]error, len(weights))
+	runClass := func(w *classWorker, i int) {
+		var rng *rand.Rand
+		if seeds != nil {
+			rng = rand.New(rand.NewSource(seeds[i]))
+		}
+		perClass[i], perErr[i] = classAugmentations(
+			par, m, weights[i], w.newSolver(rng), w, opts, &perStats[i])
+	}
+	if workers <= 1 {
+		w := newClassWorker(opts)
+		for i := range weights {
+			runClass(w, i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		classes := make(chan int)
+		for n := 0; n < workers; n++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w := newClassWorker(opts)
+				for i := range classes {
+					runClass(w, i)
+				}
+			}()
+		}
+		for i := range weights {
+			classes <- i
+		}
+		close(classes)
+		wg.Wait()
+	}
+
+	// Deterministic merge: class results concatenate in descending-W
+	// (enumeration) order before the greedy disjoint application.
+	var all []graph.Augmentation
+	for i := range weights {
+		stats.SolverCalls += perStats[i].SolverCalls
+		stats.LayeredBuilt += perStats[i].LayeredBuilt
+		all = append(all, perClass[i]...)
+	}
+	for i := range weights {
+		if perErr[i] != nil {
+			return 0, perErr[i]
+		}
 	}
 	gain, applied := graph.ApplyDisjoint(m, all)
 	stats.AppliedAugmentations += applied
@@ -194,13 +352,19 @@ func FindClassAugmentations(
 ) ([]graph.Augmentation, error) {
 	opts = opts.withDefaults()
 	par := layered.Parametrize(g.N(), g.Edges(), m, opts.Rng)
-	return classAugmentations(par, m, w, opts, stats)
+	cw := newClassWorker(opts)
+	var rng *rand.Rand
+	if opts.SolverFactory != nil {
+		rng = rand.New(rand.NewSource(opts.Rng.Int63()))
+	}
+	return classAugmentations(par, m, w, cw.newSolver(rng), cw, opts, stats)
 }
 
 // classAugmentations is Algorithm 4 for one augmentation class W: over all
-// good pairs whose weight windows are populated, build the layered graph,
-// solve unweighted matching in L', project each augmenting path to G,
-// decompose (Lemma 4.11), and keep the best component per path. The
+// good pairs whose weight windows are populated (a bucket-count lookup —
+// the same buckets the layered builds then iterate), build the layered
+// graph, solve unweighted matching in L', project each augmenting path to
+// G, decompose (Lemma 4.11), and keep the best component per path. The
 // vertex-disjoint union across pairs is returned.
 //
 // Note: Algorithm 4 as analysed returns only the single best pair's set
@@ -211,22 +375,34 @@ func classAugmentations(
 	par *layered.Parametrized,
 	m *graph.Matching,
 	w float64,
+	solver Solver,
+	cw *classWorker,
 	opts Options,
 	stats *Stats,
 ) ([]graph.Augmentation, error) {
-	idx := buildViability(par, w, opts.Layered)
-	pairs := layered.EnumerateGoodPairsFiltered(opts.Layered,
-		func(u int) bool { return u == 0 || (u < len(idx.aCount) && idx.aCount[u] > 0) },
-		func(u int) bool { return u < len(idx.bCount) && idx.bCount[u] > 0 },
-	)
+	scratch := cw.scratch
+	ix := scratch.Index(par, w, opts.Layered)
+	var pairs []layered.TauPair
+	if aMask, bMask, ok := ix.Masks(); ok {
+		pairs = layered.EnumerateGoodPairsMasked(opts.Layered, aMask, bMask, opts.MaxPairsPerClass)
+	} else {
+		pairs = layered.EnumerateGoodPairsLimited(opts.Layered,
+			func(u int) bool { return u == 0 || ix.ACount(u) > 0 },
+			func(u int) bool { return ix.BCount(u) > 0 },
+			opts.MaxPairsPerClass,
+		)
+	}
 	if len(pairs) > opts.MaxPairsPerClass {
 		pairs = pairs[:opts.MaxPairsPerClass]
 	}
-	var chosen []graph.Augmentation
-	used := make(map[int]struct{})
+	type candidate struct {
+		aug  graph.Augmentation
+		gain graph.Weight
+	}
+	var cands []candidate
 
 	for _, tau := range pairs {
-		lay := layered.Build(par, tau, w, opts.Layered)
+		lay := layered.BuildIndexed(ix, tau, scratch)
 		stats.LayeredBuilt++
 		if len(lay.Y) == 0 {
 			continue
@@ -235,87 +411,42 @@ func classAugmentations(
 		if len(lp) == 0 {
 			continue
 		}
-		bip := &bipartite.Bip{N: lay.TotalV, Side: lay.Sides(), Edges: lp}
+		bip := &bipartite.Bip{N: lay.NumV, Side: lay.Sides(), Edges: lp}
 		stats.SolverCalls++
-		mPrime, err := opts.Solver(bip)
+		mPrime, err := solver(bip)
 		if err != nil {
 			return nil, err
 		}
-		mlp := lay.MatchingLPrime()
+		lay.AugmentingWalks(mPrime, func(walk layered.Walk) {
+			if aug, gain, ok := scratch.BestAugmentation(m, walk); ok {
+				cands = append(cands, candidate{aug: aug, gain: gain})
+			}
+		})
+	}
 
-		for _, c := range graph.SymmetricDifference(mlp, mPrime) {
-			if !isAugmentingPath(c) {
-				continue
-			}
-			walk := lay.ProjectComponent(c)
-			aug, _, ok := layered.BestAugmentation(m, walk)
-			if !ok || conflictsUsed(aug, used) {
-				continue
-			}
-			markUsed(aug, used)
-			chosen = append(chosen, aug)
+	// Resolve the class's shared conflict set greedily by descending gain
+	// (stable, so equal gains keep discovery order and the sweep stays
+	// deterministic): all pairs see the same matching, so their candidate
+	// sets are independent and best-first dominates discovery order.
+	slices.SortStableFunc(cands, func(a, b candidate) int {
+		switch {
+		case a.gain > b.gain:
+			return -1
+		case a.gain < b.gain:
+			return 1
 		}
+		return 0
+	})
+	var chosen []graph.Augmentation
+	cw.resetUsed(par.N)
+	for _, c := range cands {
+		if cw.conflicts(c.aug) {
+			continue
+		}
+		cw.mark(c.aug)
+		chosen = append(chosen, c.aug)
 	}
 	return chosen, nil
-}
-
-// viability pre-buckets the parametrized edges by τ unit for one (W, g) so
-// that the good-pair enumeration only emits pairs whose every weight window
-// holds at least one edge: an empty matched window empties its layer and the
-// vertex filter then disconnects it, and an empty unmatched window leaves no
-// Y edges between two layers, so such pairs cannot contribute.
-type viability struct {
-	aCount, bCount []int
-}
-
-func buildViability(par *layered.Parametrized, w float64, prm layered.Params) viability {
-	maxU, _ := prm.Units()
-	v := viability{
-		aCount: make([]int, maxU+1),
-		bCount: make([]int, maxU+1),
-	}
-	g := prm.Granularity
-	for _, e := range par.A {
-		// Matched window for unit u is ((u-1)gW, ugW], so e belongs to
-		// unit ceil(w(e)/(gW)).
-		u := int(math.Ceil(float64(e.W) / (g * w)))
-		if u >= 0 && u <= maxU {
-			v.aCount[u]++
-		}
-	}
-	for _, e := range par.B {
-		// Unmatched window for unit u is [ugW, (u+1)gW): unit floor.
-		u := int(math.Floor(float64(e.W) / (g * w)))
-		if u >= 0 && u <= maxU {
-			v.bCount[u]++
-		}
-	}
-	return v
-}
-
-// isAugmentingPath reports whether a symmetric-difference component is an
-// augmenting path for ML' (a path whose both end edges come from M', i.e.
-// InFirst false at the extremes).
-func isAugmentingPath(c graph.AlternatingComponent) bool {
-	if c.IsCycle || c.EdgeCount() == 0 {
-		return false
-	}
-	return !c.InFirst[0] && !c.InFirst[c.EdgeCount()-1]
-}
-
-func conflictsUsed(a graph.Augmentation, used map[int]struct{}) bool {
-	for v := range a.Vertices() {
-		if _, ok := used[v]; ok {
-			return true
-		}
-	}
-	return false
-}
-
-func markUsed(a graph.Augmentation, used map[int]struct{}) {
-	for v := range a.Vertices() {
-		used[v] = struct{}{}
-	}
 }
 
 // Result is the outcome of Solve.
@@ -324,16 +455,26 @@ type Result struct {
 	Stats Stats
 }
 
-// effectiveBudget widens the round budget on tiny graphs: an augmentation
+// effectiveBudget widens the round budget on small graphs: an augmentation
 // on |C| vertices survives a bipartition draw with probability 2^(1-|C|)
 // (Lemma 4.12), so when n itself is small a few dozen cheap extra draws
 // make capture near-certain, whereas the default patience would stall
-// flakily.
+// flakily. The budget is graded: the smaller the graph, the longer the
+// optimal augmentations are relative to n, and the more zero-gain draws a
+// single remaining augmentation can survive.
 func effectiveBudget(n int, opts Options) (maxRounds, patience int) {
 	maxRounds, patience = opts.MaxRounds, opts.Patience
-	if n <= 12 {
+	switch {
+	case n <= 12:
 		if patience < 48 {
 			patience = 48
+		}
+		if maxRounds < 64 {
+			maxRounds = 64
+		}
+	case n <= 16:
+		if patience < 24 {
+			patience = 24
 		}
 		if maxRounds < 64 {
 			maxRounds = 64

@@ -251,11 +251,12 @@ func TestViabilityFiltering(t *testing.T) {
 	side := []bool{false, true, false, true}
 	par := layered.ParametrizeWithSide(4, g.Edges(), m, side)
 	prm := layered.Params{}.WithDefaults()
-	idx := buildViability(par, 64, prm)
+	idx := layered.NewBucketIndex(par, 64, prm)
+	maxU, _ := prm.Units()
 	// All edges unmatched with weight 64 = W: unit floor(64/8/1... ) = 8.
 	nonZero := 0
-	for u, c := range idx.bCount {
-		if c > 0 {
+	for u := 0; u <= maxU; u++ {
+		if idx.BCount(u) > 0 {
 			if u != 8 {
 				t.Errorf("unexpected populated B unit %d", u)
 			}
@@ -265,8 +266,8 @@ func TestViabilityFiltering(t *testing.T) {
 	if nonZero != 1 {
 		t.Errorf("populated B units = %d, want 1", nonZero)
 	}
-	for _, c := range idx.aCount {
-		if c != 0 {
+	for u := 0; u <= maxU; u++ {
+		if idx.ACount(u) != 0 {
 			t.Error("A units populated without matched edges")
 		}
 	}

@@ -115,6 +115,52 @@ func Apply(m *Matching, a Augmentation) (Weight, error) {
 	return gain, nil
 }
 
+// Applies reports whether a fits m (every Remove edge matched, Add edges
+// vertex-disjoint and free after the removals) — the Apply precondition
+// without the cost of constructing rejection errors. The greedy
+// conflict-resolution loops reject most of their candidates, so the
+// rejection path must not allocate; augmentations are short (bounded by the
+// layer count), so the quadratic endpoint scans beat building sets.
+func Applies(m *Matching, a Augmentation) bool {
+	for i, e := range a.Remove {
+		if !m.Has(e.U, e.V) {
+			return false
+		}
+		// A pair listed twice would make the second removal fail mid-apply
+		// (distinct matched pairs cannot share an endpoint, so duplicate
+		// pairs are the only overlap to guard).
+		for _, prev := range a.Remove[:i] {
+			if KeyOf(prev.U, prev.V) == KeyOf(e.U, e.V) {
+				return false
+			}
+		}
+	}
+	freed := func(v int) bool {
+		for _, e := range a.Remove {
+			if e.U == v || e.V == v {
+				return true
+			}
+		}
+		return false
+	}
+	for i, e := range a.Add {
+		if e.U == e.V || e.W <= 0 {
+			return false
+		}
+		for _, v := range [2]int{e.U, e.V} {
+			for _, prev := range a.Add[:i] {
+				if prev.U == v || prev.V == v {
+					return false
+				}
+			}
+			if m.IsMatched(v) && !freed(v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // ApplyDisjoint applies each augmentation that does not conflict with the
 // current matching state (greedily, in order), skipping those that fail
 // validation. It returns the total realised gain and the number applied.
@@ -124,11 +170,24 @@ func ApplyDisjoint(m *Matching, augs []Augmentation) (Weight, int) {
 	var total Weight
 	applied := 0
 	for _, a := range augs {
-		g, err := Apply(m, a)
-		if err != nil {
+		if !Applies(m, a) {
 			continue
 		}
-		total += g
+		var gain Weight
+		for _, e := range a.Remove {
+			gain -= e.W
+			// Applies verified membership; Remove cannot fail.
+			if err := m.Remove(e.U, e.V); err != nil {
+				panic(err)
+			}
+		}
+		for _, e := range a.Add {
+			gain += e.W
+			if err := m.Add(e); err != nil {
+				panic(err)
+			}
+		}
+		total += gain
 		applied++
 	}
 	return total, applied

@@ -103,6 +103,27 @@ func TestApplyDisjointSkipsConflicts(t *testing.T) {
 	}
 }
 
+func TestApplyDisjointSkipsDuplicateRemove(t *testing.T) {
+	// A Remove pair listed twice must be skipped as invalid (the legacy
+	// Apply-based loop rejected it with an error), not crash mid-apply.
+	m := NewMatching(4)
+	mustAdd(m, Edge{U: 0, V: 1, W: 3})
+	augs := []Augmentation{
+		{
+			Remove: []Edge{{U: 0, V: 1, W: 3}, {U: 1, V: 0, W: 3}},
+			Add:    []Edge{{U: 1, V: 2, W: 9}},
+		},
+		{Add: []Edge{{U: 2, V: 3, W: 4}}},
+	}
+	gain, applied := ApplyDisjoint(m, augs)
+	if applied != 1 || gain != 4 {
+		t.Errorf("applied=%d gain=%d, want 1, 4", applied, gain)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPathAugmentationDerivesRemovals(t *testing.T) {
 	m := NewMatching(6)
 	mustAdd(m, Edge{U: 1, V: 2, W: 5})

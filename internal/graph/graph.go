@@ -76,6 +76,8 @@ func (e Edge) String() string {
 type Graph struct {
 	n     int
 	edges []Edge
+	// adj caches Adjacency(); AddEdge invalidates it.
+	adj [][]IncidentEdge
 }
 
 // New returns an empty graph on n vertices.
@@ -134,6 +136,7 @@ func (g *Graph) AddEdge(e Edge) error {
 		return fmt.Errorf("%w: %v", ErrNonPositiveWeight, e)
 	}
 	g.edges = append(g.edges, e)
+	g.adj = nil
 	return nil
 }
 
@@ -153,9 +156,15 @@ type IncidentEdge struct {
 	EdgeIndex int
 }
 
-// Adjacency materialises adjacency lists. The result is freshly allocated on
-// every call; algorithms that need it repeatedly should cache it.
+// Adjacency materialises adjacency lists. The result is cached until the
+// next AddEdge, so repeated callers share one materialisation; callers must
+// not mutate the returned lists (use Adjacency only for reads, or copy).
+// The cache is not synchronised — confine concurrent use to reads after a
+// first materialising call.
 func (g *Graph) Adjacency() [][]IncidentEdge {
+	if g.adj != nil {
+		return g.adj
+	}
 	deg := make([]int, g.n)
 	for _, e := range g.edges {
 		deg[e.U]++
@@ -169,6 +178,7 @@ func (g *Graph) Adjacency() [][]IncidentEdge {
 		adj[e.U] = append(adj[e.U], IncidentEdge{To: e.V, W: e.W, EdgeIndex: i})
 		adj[e.V] = append(adj[e.V], IncidentEdge{To: e.U, W: e.W, EdgeIndex: i})
 	}
+	g.adj = adj
 	return adj
 }
 

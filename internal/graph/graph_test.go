@@ -96,6 +96,24 @@ func TestAdjacency(t *testing.T) {
 	}
 }
 
+func TestAdjacencyCachedAndInvalidated(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 5)
+	first := g.Adjacency()
+	if again := g.Adjacency(); &again[0] != &first[0] {
+		t.Error("repeated Adjacency calls did not share the cached lists")
+	}
+	// AddEdge must invalidate: the next materialisation sees the new edge.
+	g.MustAddEdge(1, 2, 7)
+	adj := g.Adjacency()
+	if len(adj[1]) != 2 {
+		t.Fatalf("deg(1) after AddEdge = %d, want 2", len(adj[1]))
+	}
+	if adj[1][1].To != 2 || adj[1][1].W != 7 || adj[1][1].EdgeIndex != 1 {
+		t.Errorf("adj[1][1] = %+v", adj[1][1])
+	}
+}
+
 func TestSortedEdges(t *testing.T) {
 	g, err := FromEdges(4, []Edge{
 		{U: 0, V: 1, W: 1},

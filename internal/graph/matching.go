@@ -131,6 +131,24 @@ func (m *Matching) Edges() []Edge {
 	return out
 }
 
+// Reset reinitialises m to the empty matching over n vertices, reusing the
+// existing storage when it is large enough. It lets scratch arenas recycle
+// matchings across hot-loop iterations without reallocating.
+func (m *Matching) Reset(n int) {
+	if cap(m.mate) < n {
+		m.mate = make([]int, n)
+		m.w = make([]Weight, n)
+	}
+	m.mate = m.mate[:n]
+	m.w = m.w[:n]
+	for i := range m.mate {
+		m.mate[i] = Unmatched
+		m.w[i] = 0
+	}
+	m.size = 0
+	m.total = 0
+}
+
 // Clone returns a deep copy.
 func (m *Matching) Clone() *Matching {
 	c := &Matching{

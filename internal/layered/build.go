@@ -5,10 +5,16 @@ import (
 )
 
 // Layered is the layered graph L(τA, τB, W, G_P) of Definition 4.10.
-// Layered vertex (v, t) has id t·N + v for layer t in [0, K] (0-indexed; the
-// paper's layer t+1). X edges live inside layers (copies of matched edges
-// passing the τA filter); Y edges connect an R vertex of layer t to an L
-// vertex of layer t+1 (unmatched edges passing the τB filter).
+//
+// Layered vertices use compact ids: only the (layer, vertex) copies incident
+// to a surviving X or Y edge receive an id, assigned densely in edge
+// discovery order. This shrinks every downstream array (bipartition sides,
+// ML', Hopcroft–Karp state) from O((K+1)·n) to O(active vertices). Kept but
+// isolated copies (free endpoints with no surviving incident edge) get no
+// id; they cannot participate in any augmenting path. X edges live inside
+// layers (copies of matched edges passing the τA filter); Y edges connect an
+// R vertex of layer t to an L vertex of layer t+1 (unmatched edges passing
+// the τB filter).
 type Layered struct {
 	Par *Parametrized
 	Tau TauPair
@@ -16,137 +22,269 @@ type Layered struct {
 	Prm Params
 
 	// K is the number of Y layers; there are K+1 X layers.
-	K      int
-	TotalV int
-	// Removed marks layered vertices deleted by the Definition 4.10
-	// filtering steps.
-	Removed []bool
+	K int
+	// NumV is the number of compact layered vertex ids.
+	NumV int
 	// X contains the surviving in-layer matched edges and Y the surviving
-	// between-layer unmatched edges, both in layered ids with original
-	// weights.
+	// between-layer unmatched edges, both in compact layered ids with
+	// original weights.
 	X, Y []graph.Edge
 	// InteriorX is the subset of X in layers 1..K-1 (0-indexed), i.e. the
 	// matched edges that remain in L' after the first and last layers'
 	// edges are dropped (Algorithm 4 line 4).
 	InteriorX []graph.Edge
+
+	// vertOrig[id] and vertLayer[id] decode a compact id.
+	vertOrig  []int32
+	vertLayer []int32
+
+	// idOf is the lazy inverse of (vertLayer, vertOrig), built on the first
+	// ID call; the hot path never needs it.
+	idOf map[int64]int32
+
+	// scratch-backed Layereds reuse the arena's side and ML' buffers.
+	scratch *Scratch
 }
 
-// ID returns the layered id of vertex v in layer t.
-func (l *Layered) ID(t, v int) int { return t*l.Par.N + v }
+// Orig returns the original vertex of a compact layered id.
+func (l *Layered) Orig(id int) int { return int(l.vertOrig[id]) }
 
-// Orig returns the original vertex of a layered id.
-func (l *Layered) Orig(id int) int { return id % l.Par.N }
+// LayerOf returns the layer of a compact layered id.
+func (l *Layered) LayerOf(id int) int { return int(l.vertLayer[id]) }
 
-// LayerOf returns the layer of a layered id.
-func (l *Layered) LayerOf(id int) int { return id / l.Par.N }
+// ID returns the compact id of vertex v in layer t, or -1 when that layer
+// copy has no surviving incident edge. Not safe for concurrent use (the
+// inverse index is built lazily).
+func (l *Layered) ID(t, v int) int {
+	if l.idOf == nil {
+		l.idOf = make(map[int64]int32, l.NumV)
+		for id := 0; id < l.NumV; id++ {
+			l.idOf[int64(l.vertLayer[id])*int64(l.Par.N)+int64(l.vertOrig[id])] = int32(id)
+		}
+	}
+	id, ok := l.idOf[int64(t)*int64(l.Par.N)+int64(v)]
+	if !ok {
+		return -1
+	}
+	return int(id)
+}
+
+// Has reports whether the copy of v in layer t survives with at least one
+// incident edge.
+func (l *Layered) Has(t, v int) bool { return l.ID(t, v) >= 0 }
+
+// Scratch is a reusable arena for Build: the stamped dense lookup tables and
+// the edge/vertex slices that would otherwise be reallocated per (τA, τB)
+// pair. A Layered built with a Scratch aliases the arena's storage and is
+// valid only until the next Build on the same Scratch; build with a nil
+// scratch (or call Detach) for a Layered that must outlive the arena.
+// A Scratch is not safe for concurrent use; use one per worker.
+type Scratch struct {
+	// stamp versions the dense arrays so they need no per-build clearing.
+	stamp   uint32
+	hasX    []uint32 // dense (t·n+v): stamped when the copy has an X edge
+	idMark  []uint32 // dense: stamped when a compact id is assigned
+	idAt    []int32  // dense: the compact id, valid when idMark is stamped
+	badMark []uint32 // dense: stamped when the copy is known removed
+
+	vertOrig  []int32
+	vertLayer []int32
+	x, y, ix  []graph.Edge
+	sides     []bool
+	lprime    []graph.Edge
+	mlp       *graph.Matching
+	index     BucketIndex
+
+	// augmenting-walk extraction buffers (walks.go).
+	visited     []bool
+	walkVerts   []int32
+	walkMatched []bool
+	walkWeights []graph.Weight
+	walkOrig    []int
+
+	// flattened Lemma 4.11 decomposition (walks.go).
+	compV     []int
+	compM     []bool
+	compW     []graph.Weight
+	compOff   []int
+	compCycle []bool
+	stackV    []int
+	stackM    []bool
+	stackW    []graph.Weight
+}
+
+// NewScratch returns an empty arena.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Index re-buckets the arena's bucket index for (par, w) and returns it.
+func (s *Scratch) Index(par *Parametrized, w float64, prm Params) *BucketIndex {
+	s.index.Reset(par, w, prm)
+	return &s.index
+}
+
+// next advances the stamp and sizes the dense arrays for sz entries.
+func (s *Scratch) next(sz int) {
+	if len(s.hasX) < sz {
+		s.hasX = make([]uint32, sz)
+		s.idMark = make([]uint32, sz)
+		s.badMark = make([]uint32, sz)
+		s.idAt = make([]int32, sz)
+		s.stamp = 0
+	}
+	s.stamp++
+	if s.stamp == 0 { // wrapped: old stamps could collide, clear everything
+		clear(s.hasX)
+		clear(s.idMark)
+		clear(s.badMark)
+		s.stamp = 1
+	}
+}
 
 // Build constructs the layered graph for one good pair and weight W
-// following Definition 4.10: edge filtering by τ windows first, then the
-// two-stage vertex filtering (intermediate layers keep only matched
-// vertices; the first layer keeps a free R vertex only when it is free in M
-// and τA_1 = 0, symmetrically for L vertices in the last layer).
+// following Definition 4.10. It buckets the parametrized edges for W first;
+// hot loops that try many pairs per class should bucket once via
+// NewBucketIndex (or Scratch.Index) and call BuildIndexed.
 func Build(par *Parametrized, tau TauPair, w float64, prm Params) *Layered {
-	prm = prm.WithDefaults()
+	return BuildIndexed(NewBucketIndex(par, w, prm), tau, nil)
+}
+
+// BuildIndexed constructs the layered graph of Definition 4.10 from a
+// pre-bucketed parametrization: edge filtering by τ windows first (a bucket
+// lookup per layer), then the two-stage vertex filtering (intermediate
+// layers keep only matched vertices; the first layer keeps a free R vertex
+// only when it is free in M and τA_1 = 0, symmetrically for L vertices in
+// the last layer). When s is non-nil its storage is reused and the returned
+// Layered is valid only until the next build on s.
+func BuildIndexed(ix *BucketIndex, tau TauPair, s *Scratch) *Layered {
+	if s == nil {
+		s = NewScratch()
+	}
+	par, w, prm := ix.Par, ix.W, ix.Prm
 	k := tau.K()
 	n := par.N
-	l := &Layered{
-		Par: par, Tau: tau, W: w, Prm: prm,
-		K: k, TotalV: (k + 1) * n,
-		Removed: make([]bool, (k+1)*n),
-	}
-	g := prm.Granularity
+	s.next((k + 1) * n)
+	s.vertOrig = s.vertOrig[:0]
+	s.vertLayer = s.vertLayer[:0]
+	s.x, s.y, s.ix = s.x[:0], s.y[:0], s.ix[:0]
 
-	// Stage 1: edge filters.
-	hasX := make([]bool, l.TotalV)
-	for t := 0; t <= k; t++ {
-		tA := tau.TauA(t, prm)
-		if tA == 0 {
-			continue // window ((0-g)W, 0] holds no positive weight
+	l := &Layered{Par: par, Tau: tau, W: w, Prm: prm, K: k, scratch: s}
+
+	// assign returns the compact id of the copy of v in layer t, creating
+	// it on first use.
+	assign := func(t, v int) int32 {
+		d := t*n + v
+		if s.idMark[d] == s.stamp {
+			return s.idAt[d]
 		}
-		lo, hi := (tA-g)*w, tA*w
-		for _, e := range par.A {
-			we := float64(e.W)
-			if we > lo && we <= hi {
-				le := graph.Edge{U: l.ID(t, e.U), V: l.ID(t, e.V), W: e.W}
-				l.X = append(l.X, le)
-				hasX[le.U] = true
-				hasX[le.V] = true
+		id := int32(len(s.vertOrig))
+		s.idMark[d] = s.stamp
+		s.idAt[d] = id
+		s.vertOrig = append(s.vertOrig, int32(v))
+		s.vertLayer = append(s.vertLayer, int32(t))
+		return id
+	}
+
+	// Stage 1a: matched-edge windows. X endpoints always pass the vertex
+	// filter (they are matched within their layer), so ids are final here.
+	for t := 0; t <= k; t++ {
+		u := tau.AUnits[t]
+		if u == 0 {
+			continue // window ((0−g)W, 0] holds no positive weight
+		}
+		for _, e := range ix.A(u) {
+			le := graph.Edge{U: int(assign(t, e.U)), V: int(assign(t, e.V)), W: e.W}
+			s.hasX[t*n+e.U] = s.stamp
+			s.hasX[t*n+e.V] = s.stamp
+			s.x = append(s.x, le)
+			if t >= 1 && t <= k-1 {
+				s.ix = append(s.ix, le)
 			}
 		}
 	}
+
+	// survives applies the Definition 4.10 vertex filter to the copy of v
+	// in layer t, memoising negative answers (positive ones are implied by
+	// an id or an X stamp).
+	survives := func(t, v int) bool {
+		d := t*n + v
+		if s.hasX[d] == s.stamp {
+			return true
+		}
+		if s.badMark[d] == s.stamp {
+			return false
+		}
+		keep := false
+		switch t {
+		case 0:
+			// First layer: an R vertex with no X edge survives only when
+			// free in M and τA_1 = 0. An L vertex with no X edge is
+			// isolated (no Y edge reaches layer-0 L vertices).
+			keep = par.Side[v] && !par.M.IsMatched(v) && tau.AUnits[0] == 0
+		case k:
+			// Last layer: symmetric with L vertices.
+			keep = !par.Side[v] && !par.M.IsMatched(v) && tau.AUnits[k] == 0
+		default:
+			// Intermediate layers: unmatched-in-X vertices are removed.
+		}
+		if !keep {
+			s.badMark[d] = s.stamp
+		}
+		return keep
+	}
+
+	// Stage 1b + 2: unmatched-edge windows, filtered by endpoint survival.
 	for t := 0; t < k; t++ {
-		tB := tau.TauB(t, prm)
-		lo, hi := tB*w, (tB+g)*w
-		for _, e := range par.B {
-			we := float64(e.W)
-			if we < lo || we >= hi {
-				continue
-			}
+		for _, e := range ix.B(tau.BUnits[t]) {
 			// Orient from the R endpoint in layer t to the L endpoint in
 			// layer t+1.
 			r, lv := e.U, e.V
 			if !par.Side[r] {
 				r, lv = lv, r
 			}
-			l.Y = append(l.Y, graph.Edge{U: l.ID(t, r), V: l.ID(t+1, lv), W: e.W})
+			if !survives(t, r) || !survives(t+1, lv) {
+				continue
+			}
+			s.y = append(s.y, graph.Edge{U: int(assign(t, r)), V: int(assign(t+1, lv)), W: e.W})
 		}
 	}
 
-	// Stage 2: vertex filters.
-	for v := 0; v < n; v++ {
-		// Intermediate layers: unmatched-in-X vertices are removed.
-		for t := 1; t < k; t++ {
-			if !hasX[l.ID(t, v)] {
-				l.Removed[l.ID(t, v)] = true
-			}
-		}
-		// First layer: R vertices without an X edge survive only when free
-		// in M and τA_1 = 0. L vertices without an X edge are isolated
-		// (no Y edge reaches layer-0 L vertices) and are removed too.
-		if !hasX[l.ID(0, v)] {
-			keep := par.Side[v] && !par.M.IsMatched(v) && tau.AUnits[0] == 0
-			if !keep {
-				l.Removed[l.ID(0, v)] = true
-			}
-		}
-		// Last layer: symmetric with L vertices.
-		if !hasX[l.ID(k, v)] {
-			keep := !par.Side[v] && !par.M.IsMatched(v) && tau.AUnits[k] == 0
-			if !keep {
-				l.Removed[l.ID(k, v)] = true
-			}
-		}
-	}
-
-	// Drop edges incident to removed vertices; collect interior X.
-	l.X = l.filterEdges(l.X)
-	l.Y = l.filterEdges(l.Y)
-	for _, e := range l.X {
-		t := l.LayerOf(e.U)
-		if t >= 1 && t <= k-1 {
-			l.InteriorX = append(l.InteriorX, e)
-		}
-	}
+	l.NumV = len(s.vertOrig)
+	l.vertOrig, l.vertLayer = s.vertOrig, s.vertLayer
+	l.X, l.Y, l.InteriorX = s.x, s.y, s.ix
 	return l
 }
 
-func (l *Layered) filterEdges(edges []graph.Edge) []graph.Edge {
-	out := edges[:0]
-	for _, e := range edges {
-		if !l.Removed[e.U] && !l.Removed[e.V] {
-			out = append(out, e)
-		}
+// Detach copies the Layered's storage out of its scratch arena so it remains
+// valid after the arena is reused.
+func (l *Layered) Detach() *Layered {
+	if l.scratch == nil {
+		return l
 	}
-	return out
+	l.vertOrig = append([]int32(nil), l.vertOrig...)
+	l.vertLayer = append([]int32(nil), l.vertLayer...)
+	l.X = append([]graph.Edge(nil), l.X...)
+	l.Y = append([]graph.Edge(nil), l.Y...)
+	l.InteriorX = append([]graph.Edge(nil), l.InteriorX...)
+	l.scratch = nil
+	return l
 }
 
 // LPrimeEdges returns the edge set of L': the layered graph with the first
 // and last layers' matched edges removed (Algorithm 4 line 4), i.e. the
-// interior X edges plus all Y edges.
+// interior X edges plus all Y edges. Scratch-backed Layereds reuse the
+// arena's buffer.
 func (l *Layered) LPrimeEdges() []graph.Edge {
-	out := make([]graph.Edge, 0, len(l.InteriorX)+len(l.Y))
+	var out []graph.Edge
+	if l.scratch != nil {
+		out = l.scratch.lprime[:0]
+	} else {
+		out = make([]graph.Edge, 0, len(l.InteriorX)+len(l.Y))
+	}
 	out = append(out, l.InteriorX...)
 	out = append(out, l.Y...)
+	if l.scratch != nil {
+		l.scratch.lprime = out
+	}
 	return out
 }
 
@@ -155,9 +293,18 @@ func (l *Layered) LPrimeEdges() []graph.Edge {
 // bipartite (every X and Y edge crosses).
 func (l *Layered) SideOf(id int) bool { return l.Par.Side[l.Orig(id)] }
 
-// Sides materialises the side array over all layered ids.
+// Sides materialises the side array over the compact ids. Scratch-backed
+// Layereds reuse the arena's buffer.
 func (l *Layered) Sides() []bool {
-	side := make([]bool, l.TotalV)
+	var side []bool
+	if l.scratch != nil {
+		if cap(l.scratch.sides) < l.NumV {
+			l.scratch.sides = make([]bool, l.NumV)
+		}
+		side = l.scratch.sides[:l.NumV]
+	} else {
+		side = make([]bool, l.NumV)
+	}
 	for id := range side {
 		side[id] = l.SideOf(id)
 	}
@@ -165,9 +312,20 @@ func (l *Layered) Sides() []bool {
 }
 
 // MatchingLPrime returns ML', the current matching restricted to L' (the
-// interior X edges), over layered ids.
+// interior X edges), over compact layered ids. Scratch-backed Layereds
+// reuse the arena's matching.
 func (l *Layered) MatchingLPrime() *graph.Matching {
-	m := graph.NewMatching(l.TotalV)
+	var m *graph.Matching
+	if l.scratch != nil {
+		if l.scratch.mlp == nil {
+			l.scratch.mlp = graph.NewMatching(l.NumV)
+		} else {
+			l.scratch.mlp.Reset(l.NumV)
+		}
+		m = l.scratch.mlp
+	} else {
+		m = graph.NewMatching(l.NumV)
+	}
 	for _, e := range l.InteriorX {
 		// Interior X edges of one layer are a subset of a matching and
 		// layers are vertex-disjoint, so Add cannot fail.

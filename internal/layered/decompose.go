@@ -80,13 +80,22 @@ func Decompose(w Walk) []Component {
 	}
 	var comps []Component
 	stack := []stackEntry{{v: w.Vertices[0]}}
-	onStack := map[int]int{w.Vertices[0]: 0}
+	// Walks are short (bounded by the layer count), so a linear scan for
+	// the repeated vertex beats maintaining a position map.
+	onStack := func(v int) int {
+		for j := len(stack) - 1; j >= 0; j-- {
+			if stack[j].v == v {
+				return j
+			}
+		}
+		return -1
+	}
 
 	for i := 0; i < w.Len(); i++ {
 		stack[len(stack)-1].matched = w.Matched[i]
 		stack[len(stack)-1].weight = w.Weights[i]
 		next := w.Vertices[i+1]
-		if j, ok := onStack[next]; ok {
+		if j := onStack(next); j >= 0 {
 			// Pop the cycle stack[j..top] closed by the current edge.
 			cycle := Component{IsCycle: true}
 			for idx := j; idx < len(stack); idx++ {
@@ -95,16 +104,12 @@ func Decompose(w Walk) []Component {
 				cycle.Weights = append(cycle.Weights, stack[idx].weight)
 			}
 			comps = append(comps, cycle)
-			for idx := j + 1; idx < len(stack); idx++ {
-				delete(onStack, stack[idx].v)
-			}
 			stack = stack[:j+1]
 			stack[j].matched = false
 			stack[j].weight = 0
 			continue
 		}
 		stack = append(stack, stackEntry{v: next})
-		onStack[next] = len(stack) - 1
 	}
 
 	if len(stack) > 1 {

@@ -136,15 +136,16 @@ func TestBuildCapturesThreeAugmentation(t *testing.T) {
 	if lay.LayerOf(lay.X[0].U) != 1 {
 		t.Fatalf("X edge in layer %d, want 1", lay.LayerOf(lay.X[0].U))
 	}
-	// Free endpoints a (L) in layer 2 and f (R) in layer 0 must survive;
-	// intermediate unmatched vertices must be removed.
-	if lay.Removed[lay.ID(0, 3)] {
+	// Free endpoints a (L) in layer 2 and f (R) in layer 0 must survive
+	// (each carries a Y edge, so it holds a compact id); intermediate
+	// unmatched vertices must be removed.
+	if !lay.Has(0, 3) {
 		t.Error("free R vertex f removed from first layer")
 	}
-	if lay.Removed[lay.ID(2, 0)] {
+	if !lay.Has(2, 0) {
 		t.Error("free L vertex a removed from last layer")
 	}
-	if !lay.Removed[lay.ID(1, 0)] || !lay.Removed[lay.ID(1, 3)] {
+	if lay.Has(1, 0) || lay.Has(1, 3) {
 		t.Error("unmatched intermediate copies not removed")
 	}
 }

@@ -1,5 +1,10 @@
 package layered
 
+import (
+	"sync"
+	"sync/atomic"
+)
+
 // TauPair is a good (τA, τB) pair in the sense of Table 1. Entries are
 // stored as integer multiples of the granularity g to keep constraint
 // checking exact: τA_i = AUnits[i]·g and τB_i = BUnits[i]·g.
@@ -70,13 +75,27 @@ func EnumerateGoodPairs(p Params) []TauPair {
 // one edge of the instance, collapsing the search space from all of Table 1
 // to the populated buckets.
 func EnumerateGoodPairsFiltered(p Params, aOK, bOK func(unit int) bool) []TauPair {
+	return EnumerateGoodPairsLimited(p, aOK, bOK, 0)
+}
+
+// EnumerateGoodPairsLimited is EnumerateGoodPairsFiltered that stops after
+// limit pairs (0 = unlimited). The generation order is deterministic, so
+// the result is always a prefix of the unlimited enumeration; the recursion
+// exits early instead of materialising a combinatorial list that the caller
+// (bounded by MaxPairsPerClass) would truncate anyway — at fine granularity
+// the full Table-1 space runs into millions of pairs.
+func EnumerateGoodPairsLimited(p Params, aOK, bOK func(unit int) bool, limit int) []TauPair {
 	p = p.WithDefaults()
 	maxU, capU := p.Units()
 	okA := func(u int) bool { return aOK == nil || aOK(u) }
 	okB := func(u int) bool { return bOK == nil || bOK(u) }
+	full := func() bool { return false }
 	var out []TauPair
+	if limit > 0 {
+		full = func() bool { return len(out) >= limit }
+	}
 
-	for k := 1; k <= p.MaxLayers-1; k++ {
+	for k := 1; k <= p.MaxLayers-1 && !full(); k++ {
 		if 2*k > capU {
 			break // (D)+(E): k layers need Στ_B >= 2k
 		}
@@ -86,7 +105,7 @@ func EnumerateGoodPairsFiltered(p Params, aOK, bOK func(unit int) bool) []TauPai
 		var genA func(i, sumA, budget int, emitB []int)
 
 		genA = func(i, sumA, budget int, bUnits []int) {
-			if sumA > budget {
+			if sumA > budget || full() {
 				return
 			}
 			if i == k+1 {
@@ -113,6 +132,9 @@ func EnumerateGoodPairsFiltered(p Params, aOK, bOK func(unit int) bool) []TauPai
 			}
 		}
 		genB = func(i, sumB int) {
+			if full() {
+				return
+			}
 			if i == k {
 				// (F): Στ_A ≤ Στ_B − 1 unit.
 				genA(0, 0, sumB-1, bs)
@@ -130,4 +152,48 @@ func EnumerateGoodPairsFiltered(p Params, aOK, bOK func(unit int) bool) []TauPai
 		genB(0, 0)
 	}
 	return out
+}
+
+// pairCacheKey identifies one filtered enumeration: the discretisation, the
+// populated-unit bitmasks (bit u set when the filter accepts unit u), and
+// the generation limit.
+type pairCacheKey struct {
+	maxU, capU, maxLayers, limit int
+	aMask, bMask                 uint64
+}
+
+var pairCache sync.Map // pairCacheKey -> []TauPair
+
+// pairCacheLimit bounds the memo; distinct masks are few in practice (they
+// follow the populated weight buckets of the instance), so hitting the limit
+// means a pathological workload and we simply stop inserting.
+const pairCacheLimit = 1 << 14
+
+var pairCacheSize atomic.Int64
+
+// EnumerateGoodPairsMasked is EnumerateGoodPairsLimited with the unit
+// filters given as bitmasks (bit u accepts unit u; callers need maxU ≤ 63,
+// see BucketIndex.Masks), memoised globally: the reduction re-enumerates
+// the same populated-bucket signature for every class of every round, so
+// the recursion runs once per distinct signature. The returned slice is
+// shared — callers must not mutate it.
+func EnumerateGoodPairsMasked(p Params, aMask, bMask uint64, limit int) []TauPair {
+	p = p.WithDefaults()
+	maxU, capU := p.Units()
+	key := pairCacheKey{maxU: maxU, capU: capU, maxLayers: p.MaxLayers, limit: limit,
+		aMask: aMask, bMask: bMask}
+	if v, ok := pairCache.Load(key); ok {
+		return v.([]TauPair)
+	}
+	pairs := EnumerateGoodPairsLimited(p,
+		func(u int) bool { return aMask&(1<<uint(u)) != 0 },
+		func(u int) bool { return bMask&(1<<uint(u)) != 0 },
+		limit,
+	)
+	if pairCacheSize.Load() < pairCacheLimit {
+		if _, loaded := pairCache.LoadOrStore(key, pairs); !loaded {
+			pairCacheSize.Add(1)
+		}
+	}
+	return pairs
 }

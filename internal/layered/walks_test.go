@@ -1,0 +1,177 @@
+package layered
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/graph"
+)
+
+// isAugmentingPath is the predicate the generic symmetric-difference route
+// used to select augmenting paths (both end edges in M').
+func isAugmentingPath(c graph.AlternatingComponent) bool {
+	if c.IsCycle || c.EdgeCount() == 0 {
+		return false
+	}
+	return !c.InFirst[0] && !c.InFirst[c.EdgeCount()-1]
+}
+
+// TestAugmentingWalksMatchSymmetricDifference checks the direct extraction
+// against the reference route (SymmetricDifference → filter → project) on
+// solved layered graphs from random instances: the same multiset of
+// projected walks must come out, and the per-walk best augmentations must
+// have identical gains.
+func TestAugmentingWalksMatchSymmetricDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prm := Params{}.WithDefaults()
+	pairs := EnumerateGoodPairs(prm)
+
+	for trial := 0; trial < 6; trial++ {
+		inst := graph.PlantedMatching(40, 200, 60, 120, rng)
+		par := Parametrize(inst.G.N(), inst.G.Edges(), inst.Opt, rng)
+		scratch := NewScratch()
+		ix := scratch.Index(par, 120, prm)
+		for pi, tau := range pairs {
+			if pi%5 != trial%5 {
+				continue
+			}
+			lay := BuildIndexed(ix, tau, scratch)
+			if len(lay.Y) == 0 {
+				continue
+			}
+			lp := lay.LPrimeEdges()
+			if len(lp) == 0 {
+				continue
+			}
+			res := bipartite.HopcroftKarp(&bipartite.Bip{N: lay.NumV, Side: lay.Sides(), Edges: lp})
+
+			// Reference: generic symmetric difference, filtered, projected.
+			type flatWalk struct {
+				key  string
+				gain graph.Weight
+				ok   bool
+			}
+			keyOf := func(w Walk) string {
+				// Canonical orientation: compare against the reverse.
+				fwd := ""
+				rev := ""
+				for i := range w.Vertices {
+					fwd += string(rune(w.Vertices[i])) + ","
+					rev += string(rune(w.Vertices[len(w.Vertices)-1-i])) + ","
+				}
+				if rev < fwd {
+					return rev
+				}
+				return fwd
+			}
+			var want []flatWalk
+			mlpRef := graph.NewMatching(lay.NumV)
+			for _, e := range lay.InteriorX {
+				if err := mlpRef.Add(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, c := range graph.SymmetricDifference(mlpRef, res.M) {
+				if !isAugmentingPath(c) {
+					continue
+				}
+				walk := lay.ProjectComponent(c)
+				_, gain, ok := BestAugmentation(inst.Opt, walk)
+				want = append(want, flatWalk{key: keyOf(walk), gain: gain, ok: ok})
+			}
+
+			var got []flatWalk
+			lay.AugmentingWalks(res.M, func(w Walk) {
+				cp := Walk{
+					Vertices: append([]int(nil), w.Vertices...),
+					Matched:  append([]bool(nil), w.Matched...),
+					Weights:  append([]graph.Weight(nil), w.Weights...),
+				}
+				aug, gain, ok := scratch.BestAugmentation(inst.Opt, cp)
+				if ok {
+					// The arena construction must agree with the public one.
+					refAug, refGain, refOK := BestAugmentation(inst.Opt, cp)
+					if !refOK || refGain != gain {
+						t.Fatalf("scratch BestAugmentation gain %d, reference %d (ok=%v)", gain, refGain, refOK)
+					}
+					if aug.Gain() != refAug.Gain() {
+						t.Fatalf("constructed augmentation gain %d, reference %d", aug.Gain(), refAug.Gain())
+					}
+				} else if _, _, refOK := BestAugmentation(inst.Opt, cp); refOK {
+					t.Fatalf("scratch BestAugmentation missed a positive augmentation")
+				}
+				got = append(got, flatWalk{key: keyOf(cp), gain: gain, ok: ok})
+			})
+
+			if len(got) != len(want) {
+				t.Fatalf("pair %d: extracted %d walks, reference %d", pi, len(got), len(want))
+			}
+			wantSet := make(map[string]flatWalk, len(want))
+			for _, fw := range want {
+				wantSet[fw.key] = fw
+			}
+			for _, fw := range got {
+				ref, ok := wantSet[fw.key]
+				if !ok {
+					t.Fatalf("pair %d: walk %q not produced by reference route", pi, fw.key)
+				}
+				if ref.ok != fw.ok || (fw.ok && ref.gain != fw.gain) {
+					t.Fatalf("pair %d: walk %q gain (%d,%v) vs reference (%d,%v)",
+						pi, fw.key, fw.gain, fw.ok, ref.gain, ref.ok)
+				}
+			}
+		}
+	}
+}
+
+// TestScratchBestAugmentationMatchesPublic fuzzes the arena decomposition +
+// gain scan against the public Decompose-based BestAugmentation on random
+// alternating walks, including non-simple ones with repeated vertices.
+func TestScratchBestAugmentationMatchesPublic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	scratch := NewScratch()
+	for trial := 0; trial < 3000; trial++ {
+		n := 3 + rng.Intn(8)
+		m := graph.NewMatching(n)
+		// Random partial matching.
+		for v := 0; v+1 < n; v += 2 {
+			if rng.Intn(2) == 0 {
+				if err := m.Add(graph.Edge{U: v, V: v + 1, W: graph.Weight(1 + rng.Intn(50))}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Random alternating walk over the vertex set (not necessarily a
+		// real subgraph — BestAugmentation only consumes the labels). Real
+		// walks project simple-graph edges, so consecutive vertices always
+		// differ; self-loop steps are excluded.
+		length := 1 + rng.Intn(8)
+		w := Walk{Vertices: []int{rng.Intn(n)}}
+		matched := rng.Intn(2) == 0
+		for i := 0; i < length; i++ {
+			next := rng.Intn(n)
+			for next == w.Vertices[len(w.Vertices)-1] {
+				next = rng.Intn(n)
+			}
+			w.Vertices = append(w.Vertices, next)
+			w.Matched = append(w.Matched, matched)
+			w.Weights = append(w.Weights, graph.Weight(1+rng.Intn(60)))
+			matched = !matched
+		}
+		gotAug, gotGain, gotOK := scratch.BestAugmentation(m, w)
+		refAug, refGain, refOK := BestAugmentation(m, w)
+		if gotOK != refOK {
+			t.Fatalf("trial %d: ok %v vs reference %v (walk %+v)", trial, gotOK, refOK, w)
+		}
+		if !gotOK {
+			continue
+		}
+		if gotGain != refGain {
+			t.Fatalf("trial %d: gain %d vs reference %d (walk %+v)", trial, gotGain, refGain, w)
+		}
+		if gotAug.Gain() != refAug.Gain() {
+			t.Fatalf("trial %d: constructed gain %d vs reference %d", trial, gotAug.Gain(), refAug.Gain())
+		}
+	}
+}
