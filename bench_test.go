@@ -241,6 +241,55 @@ func BenchmarkRound(b *testing.B) {
 	}
 }
 
+// solveBench runs the full Theorem 1.2 driver on the medium E12 workload
+// (PlantedMatching n=120 m=600) for a fixed 12-round budget — the
+// BenchmarkSolve family's shared body. A fixed budget (Patience = MaxRounds)
+// keeps the measured work identical across configurations; the amortised
+// configurations return the bit-identical matching by construction
+// (asserted by internal/solvertest), so the ns/op ratio is a pure
+// implementation comparison.
+func solveBench(b *testing.B, opts core.Options) {
+	rng := rand.New(rand.NewSource(6))
+	inst := graph.PlantedMatching(120, 600, 100, 200, rng)
+	opts.MaxRounds = 12
+	opts.Patience = 12
+	b.ReportAllocs()
+	b.ResetTimer()
+	var weight graph.Weight
+	for i := 0; i < b.N; i++ {
+		opts.Rng = rand.New(rand.NewSource(7))
+		res, err := core.Solve(inst.G, nil, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		weight = res.M.Weight()
+	}
+	b.ReportMetric(float64(weight), "final-weight")
+}
+
+// BenchmarkSolve is the headline end-to-end benchmark of the naive (PR 1)
+// configuration: every round rebuilds the per-class bucket index and builds
+// every enumerated pair's layered graph. Tracked across PRs via
+// BENCH_*.json; cmd/benchguard holds the amortised variant to a minimum
+// speedup over this baseline in CI.
+func BenchmarkSolve(b *testing.B) {
+	solveBench(b, core.Options{})
+}
+
+// BenchmarkSolveAmortized is BenchmarkSolve over the cross-round amortised
+// pipeline (incremental viability index + survival probe + cross-class
+// solve cache), bit-identical output by construction.
+func BenchmarkSolveAmortized(b *testing.B) {
+	solveBench(b, core.Options{Amortize: true})
+}
+
+// BenchmarkSolveAmortizedWarm additionally warm-starts Hopcroft–Karp from
+// the previous pair's matching (exact cardinality preserved, tie-breaking
+// differs, so the final weight may differ from the cold runs).
+func BenchmarkSolveAmortizedWarm(b *testing.B) {
+	solveBench(b, core.Options{Amortize: true, WarmStart: true})
+}
+
 // BenchmarkRoundParallel is BenchmarkRound with the class sweep on a worker
 // pool (results are identical by construction; only wall-clock differs, and
 // only on multi-core hardware).

@@ -3,11 +3,14 @@
 //
 // Usage:
 //
-//	augbench [-experiment E1,E4] [-seed 1] [-trials 5] [-quick] [-json FILE]
+//	augbench [-experiment E1,E4] [-seed 1] [-trials 5] [-quick] [-amortize] [-json FILE]
 //
 // With no -experiment flag every experiment (E1..E12) runs. With -json the
 // tables are additionally written to FILE as machine-readable JSON (the
-// BENCH_*.json format the perf ledger tracks across PRs).
+// BENCH_*.json format the perf ledger tracks across PRs). -amortize routes
+// the reduction-driven experiments through the cross-round amortised
+// pipeline (bit-identical results; the E12b counters table shows the probe
+// and cache activity).
 package main
 
 import (
@@ -38,10 +41,11 @@ type jsonTable struct {
 }
 
 type jsonReport struct {
-	Seed   int64       `json:"seed"`
-	Trials int         `json:"trials"`
-	Quick  bool        `json:"quick"`
-	Tables []jsonTable `json:"tables"`
+	Seed     int64       `json:"seed"`
+	Trials   int         `json:"trials"`
+	Quick    bool        `json:"quick"`
+	Amortize bool        `json:"amortize,omitempty"`
+	Tables   []jsonTable `json:"tables"`
 }
 
 func run(args []string) error {
@@ -50,19 +54,20 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	trials := fs.Int("trials", 5, "trials per table row")
 	quick := fs.Bool("quick", false, "shrink instance sizes")
+	amortize := fs.Bool("amortize", false, "use the cross-round amortised solving pipeline")
 	jsonPath := fs.String("json", "", "also write the tables as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := bench.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	cfg := bench.Config{Seed: *seed, Trials: *trials, Quick: *quick, Amortize: *amortize}
 	registry := bench.Registry()
 
 	ids := bench.IDs()
 	if *experiments != "" {
 		ids = strings.Split(*experiments, ",")
 	}
-	report := jsonReport{Seed: *seed, Trials: *trials, Quick: *quick}
+	report := jsonReport{Seed: *seed, Trials: *trials, Quick: *quick, Amortize: *amortize}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		runner, ok := registry[id]

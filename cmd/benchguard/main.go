@@ -1,0 +1,163 @@
+// Command benchguard turns `go test -bench` output into a pass/fail gate
+// for CI. It enforces two kinds of bounds:
+//
+//   - relative: -speedup "BenchmarkSolveAmortized/BenchmarkSolve>=1.2"
+//     requires the first benchmark to be at least 1.2× faster than the
+//     second within the same run. Ratios compare two measurements from one
+//     machine, so they are immune to runner-speed variance — this is the
+//     primary regression gate for the amortised pipeline.
+//   - absolute: -baseline BENCH_pr2.json -slack 3 requires every benchmark
+//     present in both the run and the baseline file to stay within slack ×
+//     its committed ns/op. The generous default slack only catches
+//     catastrophic regressions that a ratio cannot see (both paths slowing
+//     down together); CI machines are not the ledger machine.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkSolve' . | benchguard \
+//	    -speedup 'BenchmarkSolveAmortized/BenchmarkSolve>=1.2' \
+//	    -baseline BENCH_pr2.json -slack 3
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+// benchLine matches `BenchmarkName[-procs] <iters> <ns> ns/op ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func parseBench(r *os.File) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // echo so the CI log keeps the raw numbers
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", line, err)
+		}
+		out[m[1]] = ns
+	}
+	return out, sc.Err()
+}
+
+// baselineFile mirrors the BENCH_*.json ledger shape: a benchmarks array
+// whose entries carry a name and an `after` measurement.
+type baselineFile struct {
+	Benchmarks []struct {
+		Name  string `json:"name"`
+		After *struct {
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"after"`
+	} `json:"benchmarks"`
+}
+
+func run(args []string, stdin *os.File) error {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	speedups := fs.String("speedup", "", "comma-separated relative bounds, each \"A/B>=ratio\"")
+	baseline := fs.String("baseline", "", "BENCH_*.json ledger file for absolute bounds")
+	slack := fs.Float64("slack", 3.0, "allowed multiple of the baseline ns/op")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	got, err := parseBench(stdin)
+	if err != nil {
+		return err
+	}
+	if len(got) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+
+	var failures []string
+	for _, spec := range strings.Split(*speedups, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		var fast, slow string
+		var ratio float64
+		parts := strings.SplitN(spec, ">=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad -speedup spec %q (want A/B>=ratio)", spec)
+		}
+		names := strings.SplitN(parts[0], "/", 2)
+		if len(names) != 2 {
+			return fmt.Errorf("bad -speedup spec %q (want A/B>=ratio)", spec)
+		}
+		fast, slow = names[0], names[1]
+		if ratio, err = strconv.ParseFloat(parts[1], 64); err != nil {
+			return fmt.Errorf("bad ratio in %q: %w", spec, err)
+		}
+		fastNs, ok1 := got[fast]
+		slowNs, ok2 := got[slow]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("speedup %q: missing benchmark (have %v)", spec, keys(got))
+		}
+		measured := slowNs / fastNs
+		if measured < ratio {
+			failures = append(failures, fmt.Sprintf(
+				"%s is only %.2fx faster than %s, want >= %.2fx", fast, measured, slow, ratio))
+		} else {
+			fmt.Printf("benchguard: %s %.2fx faster than %s (>= %.2fx) ok\n", fast, measured, slow, ratio)
+		}
+	}
+
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			return err
+		}
+		var base baselineFile
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("%s: %w", *baseline, err)
+		}
+		for _, b := range base.Benchmarks {
+			if b.After == nil || b.After.NsPerOp <= 0 {
+				continue
+			}
+			ns, ok := got[b.Name]
+			if !ok {
+				continue
+			}
+			if limit := b.After.NsPerOp * *slack; ns > limit {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.0f ns/op exceeds %.1fx baseline %.0f", b.Name, ns, *slack, b.After.NsPerOp))
+			} else {
+				fmt.Printf("benchguard: %s %.0f ns/op within %.1fx of baseline %.0f ok\n",
+					b.Name, ns, *slack, b.After.NsPerOp)
+			}
+		}
+	}
+
+	if len(failures) > 0 {
+		return fmt.Errorf("%s", strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+func keys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runWithInput(t *testing.T, input string, args ...string) error {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(input); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	return run(args, f)
+}
+
+const sample = `goos: linux
+BenchmarkSolve              	      40	  28350723 ns/op	      8588 final-weight
+BenchmarkSolveAmortized-4   	     121	   9811856 ns/op	      8588 final-weight
+PASS
+`
+
+func TestSpeedupPasses(t *testing.T) {
+	if err := runWithInput(t, sample,
+		"-speedup", "BenchmarkSolveAmortized/BenchmarkSolve>=1.2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedupFails(t *testing.T) {
+	err := runWithInput(t, sample,
+		"-speedup", "BenchmarkSolveAmortized/BenchmarkSolve>=5.0")
+	if err == nil || !strings.Contains(err.Error(), "faster") {
+		t.Fatalf("want speedup failure, got %v", err)
+	}
+}
+
+func TestMissingBenchmark(t *testing.T) {
+	if err := runWithInput(t, sample, "-speedup", "BenchmarkNope/BenchmarkSolve>=1"); err == nil {
+		t.Fatal("missing benchmark accepted")
+	}
+}
+
+func TestBaselineBounds(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(base, []byte(`{"benchmarks":[
+		{"name":"BenchmarkSolve","after":{"ns_per_op":30000000}},
+		{"name":"BenchmarkSolveAmortized","after":{"ns_per_op":10000000}}
+	]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runWithInput(t, sample, "-baseline", base, "-slack", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runWithInput(t, sample, "-baseline", base, "-slack", "0.5"); err == nil {
+		t.Fatal("regression past baseline slack accepted")
+	}
+}
+
+func TestNoInput(t *testing.T) {
+	if err := runWithInput(t, "PASS\n"); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}

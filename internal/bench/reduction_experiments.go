@@ -79,8 +79,9 @@ func E4MultipassWeighted(cfg Config) []Table {
 				continue
 			}
 			res, err := core.Solve(inst.G, nil, core.Options{
-				Rng:     rng2,
-				Layered: layered.Params{Granularity: g},
+				Rng:      rng2,
+				Layered:  layered.Params{Granularity: g},
+				Amortize: cfg.Amortize,
 			})
 			if err != nil {
 				continue
@@ -211,6 +212,7 @@ func E8LayeredCapture(cfg Config) []Table {
 			Rng:       rand.New(rand.NewSource(cfg.Seed)),
 			MaxRounds: cycleRounds,
 			Patience:  cycleRounds,
+			Amortize:  cfg.Amortize,
 			Layered:   layered.Params{MaxLayers: 2*half + 1, SumCap: float64(half) + 1},
 		})
 		if err != nil {

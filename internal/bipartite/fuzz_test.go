@@ -1,0 +1,135 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// fuzzBip decodes a small random bipartite instance from a seed.
+func fuzzBip(seed int64) (*Bip, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	nl, nr := 2+rng.Intn(10), 2+rng.Intn(10)
+	inst := graph.RandomBipartite(nl, nr, 2+rng.Intn(3*(nl+nr)), 16, rng)
+	side := make([]bool, nl+nr)
+	for v := nl; v < nl+nr; v++ {
+		side[v] = true
+	}
+	return &Bip{N: nl + nr, Side: side, Edges: inst.G.Edges()}, rng
+}
+
+// FuzzWarmStartHK feeds the seeded solver arbitrary — including invalid —
+// seeds and checks the warm-start contract: the result is always a valid
+// matching of the instance with exactly the cold solver's cardinality
+// (both are maximum), regardless of how stale or malformed the seed list
+// is. The script bytes select seed edges, corrupt endpoints, and mismatch
+// edge indices, modelling a previous pair's matching whose edges partially
+// survived.
+func FuzzWarmStartHK(f *testing.F) {
+	f.Add(int64(1), []byte{0, 1, 2})
+	f.Add(int64(2), []byte{0xff, 0x01, 0x80, 0x40})
+	f.Add(int64(3), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
+		b, _ := fuzzBip(seed)
+		if len(b.Edges) == 0 {
+			t.Skip()
+		}
+		var seeds []Seed
+		for i := 0; i+1 < len(script); i += 2 {
+			ei := int(script[i]) % len(b.Edges)
+			e := b.Edges[ei]
+			l, r := e.U, e.V
+			if b.Side[l] {
+				l, r = r, l
+			}
+			sd := Seed{L: int32(l), R: int32(r), EdgeIndex: int32(ei)}
+			// Corrupt a fraction of the seeds: wrong edge index, swapped
+			// sides, out-of-range ids. The solver must skip them.
+			switch script[i+1] % 5 {
+			case 1:
+				sd.EdgeIndex = int32(script[i+1]) // likely mismatched
+			case 2:
+				sd.L, sd.R = sd.R, sd.L
+			case 3:
+				sd.L = int32(b.N) + int32(script[i+1])
+			case 4:
+				sd.R = -1
+			}
+			seeds = append(seeds, sd)
+		}
+
+		cold := HopcroftKarp(b)
+		warm := HopcroftKarpSeeded(b, NewScratch(), seeds)
+		if warm.M.Size() != cold.M.Size() {
+			t.Fatalf("warm cardinality %d != cold %d (seeds %v)",
+				warm.M.Size(), cold.M.Size(), seeds)
+		}
+		if err := warm.M.Validate(); err != nil {
+			t.Fatalf("warm matching invalid: %v", err)
+		}
+		// Every matched edge must be a real edge of the instance with the
+		// instance's weight (the seed's EdgeIndex feeds weight recovery).
+		have := map[graph.Key]graph.Weight{}
+		for _, e := range b.Edges {
+			have[e.EdgeKey()] = e.W
+		}
+		for _, e := range warm.M.Edges() {
+			w, ok := have[e.EdgeKey()]
+			if !ok {
+				t.Fatalf("warm matching contains non-edge %v", e)
+			}
+			if w != e.W {
+				t.Fatalf("warm matching edge %v carries weight %d, instance has %d", e, e.W, w)
+			}
+		}
+	})
+}
+
+// TestSeededHKWarmStartSavesPhases seeds the solver with the full cold
+// solution and checks the re-solve pays zero phases — the property the
+// per-class warm start exploits when consecutive pairs coincide.
+func TestSeededHKWarmStartSavesPhases(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		b, _ := fuzzBip(seed)
+		cold := HopcroftKarpScratch(b, NewScratch())
+		var seeds []Seed
+		for i, e := range b.Edges {
+			l, r := e.U, e.V
+			if b.Side[l] {
+				l, r = r, l
+			}
+			if cold.M.Has(e.U, e.V) {
+				seeds = append(seeds, Seed{L: int32(l), R: int32(r), EdgeIndex: int32(i)})
+			}
+		}
+		warm := HopcroftKarpSeeded(b, NewScratch(), seeds)
+		if warm.M.Size() != cold.M.Size() {
+			t.Fatalf("seed %d: warm size %d != cold %d", seed, warm.M.Size(), cold.M.Size())
+		}
+		if warm.Phases != 0 {
+			t.Errorf("seed %d: full seed still ran %d phases", seed, warm.Phases)
+		}
+	}
+}
+
+// TestSeededHKEmptySeedIsCold checks a nil seed list reproduces the cold
+// solver exactly (same matching, same phase count): cold is the zero point
+// of the warm-start axis, which the differential suite relies on.
+func TestSeededHKEmptySeedIsCold(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		b, _ := fuzzBip(seed)
+		cold := HopcroftKarpScratch(b, NewScratch())
+		warm := HopcroftKarpSeeded(b, NewScratch(), nil)
+		if warm.Phases != cold.Phases || warm.M.Size() != cold.M.Size() {
+			t.Fatalf("seed %d: nil-seed run (size %d, phases %d) != cold (size %d, phases %d)",
+				seed, warm.M.Size(), warm.Phases, cold.M.Size(), cold.Phases)
+		}
+		ce, we := cold.M.Edges(), warm.M.Edges()
+		for i := range ce {
+			if ce[i] != we[i] {
+				t.Fatalf("seed %d: edge %d differs: %v vs %v", seed, i, ce[i], we[i])
+			}
+		}
+	}
+}

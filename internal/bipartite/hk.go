@@ -77,12 +77,34 @@ func NewScratch() *Scratch { return &Scratch{} }
 // HopcroftKarp computes a maximum cardinality matching exactly. It is the
 // δ = 0 oracle of the reduction.
 func HopcroftKarp(b *Bip) Result {
-	return boundedHK(b, math.MaxInt32, nil)
+	return boundedHK(b, math.MaxInt32, nil, nil)
 }
 
 // HopcroftKarpScratch is HopcroftKarp reusing the given arena's storage.
 func HopcroftKarpScratch(b *Bip, s *Scratch) Result {
-	return boundedHK(b, math.MaxInt32, s)
+	return boundedHK(b, math.MaxInt32, s, nil)
+}
+
+// Seed pre-matches one edge of a warm-started solve: left vertex L matched
+// to right vertex R via edge EdgeIndex of b.Edges.
+type Seed struct {
+	L, R      int32
+	EdgeIndex int32
+}
+
+// HopcroftKarpSeeded is HopcroftKarpScratch warm-started from a partial
+// matching: the seeds are installed before the first phase, so when they
+// approximate a maximum matching the search pays only the few phases that
+// augment the difference instead of rebuilding from empty. Any valid
+// matching seeds a correct run (augmenting-path search is indifferent to
+// its starting point), and the result is still exactly maximum — though not
+// necessarily the same maximum matching a cold run returns, since the seed
+// shifts which augmenting paths are found first. Seeds that do not fit
+// (out of range, endpoint already seeded, edge not crossing L-R) are
+// skipped, so a stale seed degrades to a colder start, never to a wrong
+// answer.
+func HopcroftKarpSeeded(b *Bip, s *Scratch, seeds []Seed) Result {
+	return boundedHK(b, math.MaxInt32, s, seeds)
 }
 
 // Approx computes a (1−δ)-approximate maximum matching by running
@@ -96,10 +118,10 @@ func Approx(b *Bip, delta float64) Result {
 // ApproxScratch is Approx reusing the given arena's storage.
 func ApproxScratch(b *Bip, delta float64, s *Scratch) Result {
 	if delta <= 0 {
-		return boundedHK(b, math.MaxInt32, s)
+		return boundedHK(b, math.MaxInt32, s, nil)
 	}
 	ell := int(math.Ceil(1 / delta))
-	return boundedHK(b, 2*ell-1, s)
+	return boundedHK(b, 2*ell-1, s, nil)
 }
 
 // prepare sizes the arena for b and builds the CSR adjacency of the left
@@ -155,8 +177,8 @@ func (s *Scratch) prepare(b *Bip) {
 }
 
 // boundedHK runs HK phases while the shortest augmenting path length is at
-// most maxLen.
-func boundedHK(b *Bip, maxLen int, s *Scratch) Result {
+// most maxLen, optionally warm-started from seeds.
+func boundedHK(b *Bip, maxLen int, s *Scratch, seeds []Seed) Result {
 	if s == nil {
 		s = NewScratch()
 	}
@@ -165,6 +187,24 @@ func boundedHK(b *Bip, maxLen int, s *Scratch) Result {
 		s.matchL[i] = -1
 		s.matchR[i] = -1
 		s.matchEdge[i] = -1
+	}
+	for _, sd := range seeds {
+		if sd.L < 0 || int(sd.L) >= b.N || sd.R < 0 || int(sd.R) >= b.N {
+			continue
+		}
+		if sd.EdgeIndex < 0 || int(sd.EdgeIndex) >= len(b.Edges) {
+			continue
+		}
+		if e := b.Edges[sd.EdgeIndex]; !(e.U == int(sd.L) && e.V == int(sd.R)) &&
+			!(e.U == int(sd.R) && e.V == int(sd.L)) {
+			continue
+		}
+		if b.Side[sd.L] || !b.Side[sd.R] || s.matchL[sd.L] != -1 || s.matchR[sd.R] != -1 {
+			continue
+		}
+		s.matchL[sd.L] = sd.R
+		s.matchR[sd.R] = sd.L
+		s.matchEdge[sd.L] = sd.EdgeIndex
 	}
 	const inf = math.MaxInt32
 

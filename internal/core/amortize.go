@@ -1,0 +1,176 @@
+package core
+
+// This file holds the amortised cross-round machinery a Runner threads
+// through Algorithm 3 when Options.Amortize or Options.WarmStart is set.
+// Each piece keeps its naive twin alive as the differential oracle: the
+// incremental index against the per-(round, class) BucketIndex rebuild, the
+// cross-class cache against an uncached sweep, and the warm-started solver
+// against a cold Hopcroft–Karp — see internal/solvertest and the core
+// differential tests for the equivalences each pair is held to.
+
+import (
+	"sync"
+
+	"repro/internal/bipartite"
+	"repro/internal/graph"
+	"repro/internal/layered"
+)
+
+// candidate is one projected augmentation with its gain, the unit the
+// per-class conflict resolution and the cross-class cache both handle.
+type candidate struct {
+	aug  graph.Augmentation
+	gain graph.Weight
+}
+
+// amortizer is the cross-round state of an amortised run: the incremental
+// viability index and the per-round cross-class solve cache.
+type amortizer struct {
+	weights []float64
+	inc     *layered.IncIndex
+	cache   *pairCache
+	ctxs    []amortClassCtx
+}
+
+func newAmortizer(g *graph.Graph, opts Options) *amortizer {
+	weights := ClassWeights(g, opts.ClassBase, opts.Layered)
+	am := &amortizer{
+		weights: weights,
+		inc:     layered.NewIncIndex(g.N(), g.Edges(), weights, opts.Layered),
+	}
+	// The cache replays a pair's candidates without consulting the solver,
+	// which is only sound when the solver is the stateless deterministic
+	// default: a caller-installed Solver may count passes or draw
+	// randomness, and a warm-started solver depends on the seed history the
+	// cache key does not cover.
+	if opts.Solver == nil && opts.SolverFactory == nil && !opts.WarmStart {
+		am.cache = &pairCache{m: make(map[string][]candidate)}
+	}
+	am.ctxs = make([]amortClassCtx, len(weights))
+	for i := range am.ctxs {
+		am.ctxs[i] = amortClassCtx{view: am.inc.View(i), cache: am.cache}
+	}
+	return am
+}
+
+// beginRound syncs the index to the round's parametrization and drops the
+// previous round's cache (a fresh bipartition invalidates every layered
+// graph).
+func (am *amortizer) beginRound(par *layered.Parametrized) {
+	am.inc.BeginRound(par)
+	if am.cache != nil {
+		am.cache.reset()
+	}
+}
+
+// amortClassCtx is the per-class slice of the amortised state handed to
+// classAugmentations; nil means the naive path.
+type amortClassCtx struct {
+	view  *layered.IncView
+	cache *pairCache
+}
+
+// pairCache shares pair solves across the classes of one round, keyed by
+// the layered graph's content (τ units plus window digests, see
+// IncView.PairKey): anchored and geometric classes whose windows coincide
+// solve identical layered graphs, so the first solve's candidates serve
+// every twin. Values are pure functions of the key, so the worker pool can
+// populate it in any order without disturbing the deterministic merge.
+type pairCache struct {
+	mu sync.Mutex
+	m  map[string][]candidate
+}
+
+func (pc *pairCache) reset() {
+	pc.mu.Lock()
+	clear(pc.m)
+	pc.mu.Unlock()
+}
+
+func (pc *pairCache) get(key []byte) ([]candidate, bool) {
+	pc.mu.Lock()
+	v, ok := pc.m[string(key)]
+	pc.mu.Unlock()
+	return v, ok
+}
+
+func (pc *pairCache) put(key []byte, cands []candidate) {
+	// Copy: the caller's slice is re-sorted by the class-level conflict
+	// resolution, which would scramble a shared backing array.
+	cp := append([]candidate(nil), cands...)
+	pc.mu.Lock()
+	pc.m[string(key)] = cp
+	pc.mu.Unlock()
+}
+
+// warmState carries one class's Hopcroft–Karp warm start: the previous
+// (τA, τB) pair's matching in (layer, original-vertex) coordinates, mapped
+// onto the next pair's surviving edges as solver seeds. The state resets at
+// every class boundary, so results stay invariant under the worker count
+// (a worker's previous class leaks nothing into the next).
+type warmState struct {
+	hk    *bipartite.Scratch
+	prev  []warmEdge
+	seeds []bipartite.Seed
+	lpSet map[uint64]int32
+}
+
+// warmEdge is one matched edge of the previous pair's solution, endpoint
+// copies identified by (layer, original vertex) — the coordinates that
+// survive from one layered graph to the next while compact ids do not.
+type warmEdge struct {
+	tu, u, tv, v int32
+}
+
+func newWarmState(hk *bipartite.Scratch) *warmState {
+	return &warmState{hk: hk, lpSet: make(map[uint64]int32)}
+}
+
+func (ws *warmState) resetClass() { ws.prev = ws.prev[:0] }
+
+// solve runs the seeded exact solver on the pair's bipartite view: the
+// previous pair's matching is restricted to the edges that survive in this
+// build (both endpoint copies present and the edge in L'), installed as
+// seeds, and the result recorded for the next pair.
+func (ws *warmState) solve(lay *layered.Layered, bip *bipartite.Bip) *graph.Matching {
+	seeds := ws.seeds[:0]
+	if len(ws.prev) > 0 {
+		clear(ws.lpSet)
+		for i, e := range bip.Edges {
+			ws.lpSet[layeredEdgeKey(e.U, e.V, bip.N)] = int32(i)
+		}
+		for _, pe := range ws.prev {
+			lu := lay.ID(int(pe.tu), int(pe.u))
+			lv := lay.ID(int(pe.tv), int(pe.v))
+			if lu < 0 || lv < 0 {
+				continue
+			}
+			ei, ok := ws.lpSet[layeredEdgeKey(lu, lv, bip.N)]
+			if !ok {
+				continue
+			}
+			l, r := lu, lv
+			if bip.Side[l] {
+				l, r = r, l
+			}
+			seeds = append(seeds, bipartite.Seed{L: int32(l), R: int32(r), EdgeIndex: ei})
+		}
+	}
+	ws.seeds = seeds
+	res := bipartite.HopcroftKarpSeeded(bip, ws.hk, seeds)
+	ws.prev = ws.prev[:0]
+	for _, e := range res.M.Edges() {
+		ws.prev = append(ws.prev, warmEdge{
+			tu: int32(lay.LayerOf(e.U)), u: int32(lay.Orig(e.U)),
+			tv: int32(lay.LayerOf(e.V)), v: int32(lay.Orig(e.V)),
+		})
+	}
+	return res.M
+}
+
+func layeredEdgeKey(u, v, n int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)*uint64(n) + uint64(v)
+}

@@ -84,6 +84,32 @@ type Options struct {
 	// SolverFactory is set, each worker uses an exact Hopcroft–Karp solver
 	// backed by its own scratch arena.
 	SolverFactory func(rng *rand.Rand) Solver
+	// Amortize enables the cross-round amortised pipeline: the incremental
+	// viability index (window bucketing computed once per edge and
+	// maintained by matched/unmatched deltas instead of rebuilt per round
+	// and class), the shared per-class survival probe (doomed (τA, τB)
+	// pairs are rejected before their layered graph is built), and the
+	// per-round cross-class solve cache (classes whose windows coincide
+	// share one solve). The amortised path returns the bit-identical
+	// matching of the naive path for a fixed Rng seed; the differential
+	// suite (internal/solvertest, TestAmortizedRoundBitIdentical) asserts
+	// it. Stats.LayeredBuilt counts probe-rejected pairs as built so the
+	// two paths stay comparable. Granularities finer than 1/255 exceed the
+	// index's compact unit storage and silently fall back to the naive
+	// path (layered.CanIndexIncrementally).
+	Amortize bool
+	// WarmStart seeds the exact Hopcroft–Karp solver with the previous
+	// (τA, τB) pair's matching restricted to the surviving edges, within
+	// each class. Consecutive pairs of a class share most of their layered
+	// graph, so the warm solve pays only the phases that augment the
+	// difference. The result is still an exact maximum matching, but not
+	// necessarily the same one a cold solve returns (the seed shifts which
+	// augmenting paths are found first), so warm runs are held to the
+	// cardinality and quality equivalences rather than bit-identity, and
+	// the cross-class cache is disabled while warm-starting (its key does
+	// not cover the seed history). Ignored when Solver or SolverFactory is
+	// installed — only the default exact solver is seedable.
+	WarmStart bool
 	// Trace, when non-nil, receives the matching weight after every round
 	// (convergence curves for the E12 experiment).
 	Trace func(round int, weight graph.Weight)
@@ -123,8 +149,17 @@ type Stats struct {
 	// (W, τ-pair) combination).
 	SolverCalls int
 	// LayeredBuilt counts layered graphs constructed (= SolverCalls plus
-	// those skipped for having no augmenting structure).
+	// those skipped for having no augmenting structure). Amortised runs
+	// count probe-rejected pairs here too, so the field is comparable
+	// between the naive and amortised paths.
 	LayeredBuilt int
+	// ProbeSkips counts (τA, τB) pairs the amortised survival probe
+	// rejected without constructing their layered graph (always 0 on the
+	// naive path).
+	ProbeSkips int
+	// CacheHits counts pair solves served by the per-round cross-class
+	// cache instead of the solver (always 0 on the naive path).
+	CacheHits int
 	// AppliedAugmentations counts augmentations applied to the matching.
 	AppliedAugmentations int
 	// Gain is the total weight gained over the initial matching.
@@ -181,6 +216,11 @@ func ClassWeights(g *graph.Graph, base float64, prm layered.Params) []float64 {
 type classWorker struct {
 	scratch   *layered.Scratch
 	newSolver func(rng *rand.Rand) Solver
+
+	// warm, when non-nil, replaces the solver with the seeded exact solver
+	// carrying the previous pair's matching (Options.WarmStart with the
+	// default solver configuration).
+	warm *warmState
 
 	// used is the class-level conflict set as a stamp array over original
 	// vertices (advancing the stamp clears it in O(1) between classes).
@@ -242,8 +282,44 @@ func newClassWorker(opts Options) *classWorker {
 			return bipartite.HopcroftKarpScratch(b, hk).M, nil
 		})
 		w.newSolver = func(*rand.Rand) Solver { return solver }
+		if opts.WarmStart {
+			w.warm = newWarmState(hk)
+		}
 	}
 	return w
+}
+
+// Runner executes Algorithm 3 rounds against one graph, carrying the
+// cross-round amortised state (Options.Amortize) between them: the inner
+// loop of Solve, exposed so that incremental workloads and the differential
+// suite can drive rounds one at a time. A Runner is not safe for concurrent
+// use; the graph must not gain edges during the runner's life (the
+// incremental index aliases its edge slice), and the matching passed to
+// Round must be the one the previous Round mutated (the incremental index
+// syncs to it by delta).
+type Runner struct {
+	g       *graph.Graph
+	opts    Options
+	weights []float64
+	am      *amortizer
+}
+
+// NewRunner prepares a round runner for g. With opts.Amortize the
+// incremental viability index is built here, once, and every subsequent
+// Round applies only the matching deltas.
+func NewRunner(g *graph.Graph, opts Options) *Runner {
+	opts = opts.withDefaults()
+	r := &Runner{g: g, opts: opts}
+	// Discretisations finer than the incremental index's compact unit
+	// storage fall back to the naive path rather than wrap units silently;
+	// the amortised pipeline is an optimisation, never a behaviour change.
+	if opts.Amortize && layered.CanIndexIncrementally(opts.Layered) {
+		r.am = newAmortizer(g, opts)
+		r.weights = r.am.weights
+	} else {
+		r.weights = ClassWeights(g, opts.ClassBase, opts.Layered)
+	}
+	return r
 }
 
 // Round executes one Algorithm 3 round on m: compute AW for every class
@@ -254,13 +330,24 @@ func newClassWorker(opts Options) *classWorker {
 // Workers > 1 the sweep runs on a bounded pool while staying bit-for-bit
 // identical to the sequential sweep for a fixed Options.Rng seed.
 func Round(g *graph.Graph, m *graph.Matching, opts Options, stats *Stats) (graph.Weight, error) {
-	opts = opts.withDefaults()
-	weights := ClassWeights(g, opts.ClassBase, opts.Layered)
+	// A fresh Runner per call: with opts.Amortize this rebuilds the
+	// incremental index from scratch — the rebuild twin the differential
+	// suite compares against a Solve-held Runner's delta-maintained index.
+	return NewRunner(g, opts).Round(m, stats)
+}
+
+// Round is one Algorithm 3 round through the runner's (possibly amortised)
+// state; see the package-level Round.
+func (r *Runner) Round(m *graph.Matching, stats *Stats) (graph.Weight, error) {
+	g, opts, weights := r.g, r.opts, r.weights
 
 	// One random bipartition per round, shared by every class (the paper
 	// parametrises per run of Algorithm 4; sharing only correlates classes,
 	// not the per-class analysis).
 	par := layered.Parametrize(g.N(), g.Edges(), m, opts.Rng)
+	if r.am != nil {
+		r.am.beginRound(par)
+	}
 
 	// Split the Rng per class up-front, in class order, so a factory-built
 	// solver sees the same stream no matter which worker runs its class.
@@ -291,8 +378,12 @@ func Round(g *graph.Graph, m *graph.Matching, opts Options, stats *Stats) (graph
 		if seeds != nil {
 			rng = rand.New(rand.NewSource(seeds[i]))
 		}
+		var ac *amortClassCtx
+		if r.am != nil {
+			ac = &r.am.ctxs[i]
+		}
 		perClass[i], perErr[i] = classAugmentations(
-			par, m, weights[i], w.newSolver(rng), w, opts, &perStats[i])
+			par, m, weights[i], w.newSolver(rng), w, opts, &perStats[i], ac)
 	}
 	if workers <= 1 {
 		w := newClassWorker(opts)
@@ -325,6 +416,8 @@ func Round(g *graph.Graph, m *graph.Matching, opts Options, stats *Stats) (graph
 	for i := range weights {
 		stats.SolverCalls += perStats[i].SolverCalls
 		stats.LayeredBuilt += perStats[i].LayeredBuilt
+		stats.ProbeSkips += perStats[i].ProbeSkips
+		stats.CacheHits += perStats[i].CacheHits
 		all = append(all, perClass[i]...)
 	}
 	for i := range weights {
@@ -357,7 +450,7 @@ func FindClassAugmentations(
 	if opts.SolverFactory != nil {
 		rng = rand.New(rand.NewSource(opts.Rng.Int63()))
 	}
-	return classAugmentations(par, m, w, cw.newSolver(rng), cw, opts, stats)
+	return classAugmentations(par, m, w, cw.newSolver(rng), cw, opts, stats, nil)
 }
 
 // classAugmentations is Algorithm 4 for one augmentation class W: over all
@@ -366,6 +459,13 @@ func FindClassAugmentations(
 // graph, solve unweighted matching in L', project each augmenting path to
 // G, decompose (Lemma 4.11), and keep the best component per path. The
 // vertex-disjoint union across pairs is returned.
+//
+// With an amortised class context, three short-circuits precede the
+// build+solve, none of which changes the returned set: the survival probe
+// rejects pairs whose layered graph would have no Y edge (exactly the
+// pairs the naive loop builds and then skips), the cross-class cache
+// replays the candidates of an identical layered graph solved earlier this
+// round, and a warm solver seeds Hopcroft–Karp from the previous pair.
 //
 // Note: Algorithm 4 as analysed returns only the single best pair's set
 // A(τA,τB); the union with a shared conflict set is pointwise at least as
@@ -379,9 +479,15 @@ func classAugmentations(
 	cw *classWorker,
 	opts Options,
 	stats *Stats,
+	ac *amortClassCtx,
 ) ([]graph.Augmentation, error) {
 	scratch := cw.scratch
-	ix := scratch.Index(par, w, opts.Layered)
+	var ix layered.Index
+	if ac != nil {
+		ix = ac.view
+	} else {
+		ix = scratch.Index(par, w, opts.Layered)
+	}
 	var pairs []layered.TauPair
 	if aMask, bMask, ok := ix.Masks(); ok {
 		pairs = layered.EnumerateGoodPairsMasked(opts.Layered, aMask, bMask, opts.MaxPairsPerClass)
@@ -395,15 +501,29 @@ func classAugmentations(
 	if len(pairs) > opts.MaxPairsPerClass {
 		pairs = pairs[:opts.MaxPairsPerClass]
 	}
-	type candidate struct {
-		aug  graph.Augmentation
-		gain graph.Weight
+	if cw.warm != nil {
+		cw.warm.resetClass()
 	}
 	var cands []candidate
+	var key []byte
 
 	for _, tau := range pairs {
-		lay := layered.BuildIndexed(ix, tau, scratch)
 		stats.LayeredBuilt++
+		if ac != nil {
+			if !ac.view.ProbeY(tau) {
+				stats.ProbeSkips++
+				continue
+			}
+			if ac.cache != nil {
+				key = ac.view.PairKey(tau, key[:0])
+				if hit, ok := ac.cache.get(key); ok {
+					stats.CacheHits++
+					cands = append(cands, hit...)
+					continue
+				}
+			}
+		}
+		lay := layered.BuildIndexed(ix, tau, scratch)
 		if len(lay.Y) == 0 {
 			continue
 		}
@@ -413,15 +533,25 @@ func classAugmentations(
 		}
 		bip := &bipartite.Bip{N: lay.NumV, Side: lay.Sides(), Edges: lp}
 		stats.SolverCalls++
-		mPrime, err := solver(bip)
-		if err != nil {
-			return nil, err
+		var mPrime *graph.Matching
+		if cw.warm != nil {
+			mPrime = cw.warm.solve(lay, bip)
+		} else {
+			var err error
+			mPrime, err = solver(bip)
+			if err != nil {
+				return nil, err
+			}
 		}
+		start := len(cands)
 		lay.AugmentingWalks(mPrime, func(walk layered.Walk) {
 			if aug, gain, ok := scratch.BestAugmentation(m, walk); ok {
 				cands = append(cands, candidate{aug: aug, gain: gain})
 			}
 		})
+		if ac != nil && ac.cache != nil {
+			ac.cache.put(key, cands[start:])
+		}
 	}
 
 	// Resolve the class's shared conflict set greedily by descending gain
@@ -494,9 +624,10 @@ func Solve(g *graph.Graph, initial *graph.Matching, opts Options) (Result, error
 	}
 	var stats Stats
 	maxRounds, patience := effectiveBudget(g.N(), opts)
+	runner := NewRunner(g, opts)
 	stalled := 0
 	for r := 0; r < maxRounds && stalled < patience; r++ {
-		gain, err := Round(g, m, opts, &stats)
+		gain, err := runner.Round(m, &stats)
 		if err != nil {
 			return Result{M: m, Stats: stats}, err
 		}

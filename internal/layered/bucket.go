@@ -20,6 +20,35 @@ func BUnitOf(wt graph.Weight, w float64, prm Params) int {
 	return int(math.Floor(float64(wt) / (prm.Granularity * w)))
 }
 
+// Index is the bucket view BuildIndexed and the Algorithm 4 viability
+// filter consume: the parametrized edges of one class weight, grouped by τ
+// unit. Two implementations exist: BucketIndex rebuilds the grouping from
+// scratch per (round, class) — the naive path, kept as the differential
+// oracle — and IncIndex amortises it across a whole Solve run. Both must
+// return identical edge sequences for every unit the Table-1 enumeration
+// can query (A units 1..maxU, B units 2..maxU); the differential and fuzz
+// suites assert it.
+type Index interface {
+	// Parametrization returns the round's parametrized graph.
+	Parametrization() *Parametrized
+	// ClassWeight returns the augmentation-class weight W.
+	ClassWeight() float64
+	// Config returns the discretisation parameters.
+	Config() Params
+	// A returns the matched crossing edges whose weight lies in the unit-u
+	// τA window, in par.A (matching-edge) order.
+	A(u int) []graph.Edge
+	// B returns the unmatched crossing edges whose weight lies in the
+	// unit-u τB window, in par.B (graph-edge) order.
+	B(u int) []graph.Edge
+	// ACount and BCount return len(A(u)) and len(B(u)).
+	ACount(u int) int
+	BCount(u int) int
+	// Masks summarises the populated units as bitmasks (see
+	// BucketIndex.Masks); ok is false when the unit range exceeds 63 bits.
+	Masks() (aMask, bMask uint64, ok bool)
+}
+
 // BucketIndex pre-buckets a parametrization's edges by τ unit for one class
 // weight W, so that Build touches only the edges whose weights lie in each
 // layer's window instead of rescanning all of par.A/par.B once per layer.
@@ -79,6 +108,15 @@ func resetBuckets(b [][]graph.Edge, n int) [][]graph.Edge {
 	}
 	return b
 }
+
+// Parametrization returns ix.Par (Index interface).
+func (ix *BucketIndex) Parametrization() *Parametrized { return ix.Par }
+
+// ClassWeight returns ix.W (Index interface).
+func (ix *BucketIndex) ClassWeight() float64 { return ix.W }
+
+// Config returns ix.Prm (Index interface).
+func (ix *BucketIndex) Config() Params { return ix.Prm }
 
 // A returns the matched edges whose weight lies in the unit-u τA window.
 func (ix *BucketIndex) A(u int) []graph.Edge {

@@ -155,11 +155,11 @@ func Build(par *Parametrized, tau TauPair, w float64, prm Params) *Layered {
 // only when it is free in M and τA_1 = 0, symmetrically for L vertices in
 // the last layer). When s is non-nil its storage is reused and the returned
 // Layered is valid only until the next build on s.
-func BuildIndexed(ix *BucketIndex, tau TauPair, s *Scratch) *Layered {
+func BuildIndexed(ix Index, tau TauPair, s *Scratch) *Layered {
 	if s == nil {
 		s = NewScratch()
 	}
-	par, w, prm := ix.Par, ix.W, ix.Prm
+	par, w, prm := ix.Parametrization(), ix.ClassWeight(), ix.Config()
 	k := tau.K()
 	n := par.N
 	s.next((k + 1) * n)

@@ -1,0 +1,585 @@
+package layered
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// IncIndex is the amortised form of the per-(round, class) BucketIndex
+// rebuild: one edge-indexed structure owned by a whole Solve run. The
+// expensive parts of bucketing — the per-edge floating-point window
+// arithmetic and the per-class edge rescans — depend only on the static
+// edge weights and the slowly-changing matched status, so they are computed
+// once (unmatched windows) or maintained by matched/unmatched deltas
+// (matched windows) instead of being redone for every (round, class):
+//
+//   - bSlots: for every graph edge, the classes whose unmatched window
+//     [u·gW, (u+1)·gW) contains its weight with u in [2, maxU] — the only
+//     units a good τB entry can name (Table 1 requires τB ≥ 2g). Computed
+//     once per Solve; for weights in a bounded range each edge is live in
+//     only the O(log) classes within a constant factor of its weight.
+//   - matched list: the current matching's edges in par.A (ascending
+//     smaller endpoint) order, each carrying its per-class τA units.
+//     BeginRound merge-diffs it against the round's matching, recomputing
+//     window arithmetic only for edges whose matched status changed.
+//   - per-round viability counts and lazily materialised buckets: the
+//     bipartition is redrawn every round, so crossing status is the one
+//     per-edge input that cannot be amortised; BeginRound folds it into
+//     exact per-(class, unit) counts with a single integer pass over the
+//     live slots, and A(u)/B(u) buckets materialise on first use by a pair.
+//
+// Every materialised bucket reproduces the BucketIndex edge sequence
+// bit-for-bit (same content, same order), so a Solve run over an IncIndex
+// returns exactly the matching the naive path returns for a fixed seed; the
+// differential suite and FuzzIncrementalIndex assert this. The only
+// deliberate divergences are the units the enumeration can never query:
+// IncView.A(0) and IncView.B(0), IncView.B(1) are empty (BuildIndexed skips
+// τA = 0 layers and Table 1 forbids τB < 2g), so bMask lacks bits 0 and 1 —
+// the memoised pair enumeration sees a different cache key but computes the
+// identical pair list.
+//
+// An IncIndex is not safe for concurrent BeginRound use; within one round,
+// distinct class views may be used from distinct goroutines (all per-class
+// state is class-private and the shared round state is read-only after
+// BeginRound).
+type IncIndex struct {
+	n     int
+	edges []graph.Edge
+	ws    []float64
+	prm   Params
+	maxU  int
+
+	// bSlots, flattened: edge i is live for classes
+	// bStart[i] .. bStart[i]+len(units)-1 with units
+	// bUnits[bOff[i]:bOff[i+1]].
+	bOff   []int32
+	bStart []int32
+	bUnits []uint8
+	// bAll[c][u] lists the edge indices (ascending) whose class-c unmatched
+	// unit is u; the static superset the per-round B buckets filter.
+	bAll [][][]int32
+
+	// matched is the delta-maintained matched-edge list in par.A order
+	// (ascending smaller endpoint; each vertex has one mate, so the order
+	// is total). units[c] is the class-c τA unit; the per-class units of an
+	// edge form a prefix of the class list because class weights descend.
+	matched []matchedEdge
+	swap    []matchedEdge // ping-pong buffer for the merge-diff
+
+	// Per-round state, versioned by stamp (wrap clears everything).
+	stamp uint32
+	par   *Parametrized
+	aCnt  [][]int32
+	bCnt  [][]int32
+	aMask []uint64
+	bMask []uint64
+
+	// Lazily materialised buckets and their content digests.
+	aStamp [][]uint32
+	bStamp [][]uint32
+	aBuf   [][][]graph.Edge
+	bBuf   [][][]graph.Edge
+	aDig   [][]uint64
+	bDig   [][]uint64
+
+	// Per-class probe state: the τA unit of every matched crossing vertex
+	// (a vertex has at most one matched edge, hence at most one unit).
+	probeStamp []uint32
+	vStamp     [][]uint32
+	vUnit      [][]uint8
+
+	// Probe rows, per (class, τB unit): pRows[c][u][ra] is a bitset over
+	// the τA units la such that some unit-u unmatched crossing edge runs
+	// from an R endpoint of matched unit ra to an L endpoint of matched
+	// unit la. Row 0 collects edges whose R endpoint is free (the τA = 0
+	// first-layer rule) and bit freeLBit the ones whose L endpoint is free
+	// (the last-layer rule), so one AND answers "would layer t contribute a
+	// Y edge" for any pair.
+	prStamp [][]uint32
+	pRows   [][][]uint64
+
+	views []IncView
+}
+
+// freeLBit marks "L endpoint free" in a probe row; unit bits occupy
+// 0..maxU, so the probe requires maxU < freeLBit and falls back to
+// building every pair at finer discretisations.
+const freeLBit = 63
+
+type matchedEdge struct {
+	e     graph.Edge // canonical U < V, weight from the matching
+	units []uint8    // units[c] = class-c τA unit; live classes are a prefix
+}
+
+// maxIncUnit is the largest τ unit the index's compact storage can hold:
+// units live in uint8 slots (bUnits, matchedEdge.units, vUnit, the PairKey
+// bytes). Discretisations finer than 1/255 overflow them, so callers gate
+// on CanIndexIncrementally and fall back to the naive BucketIndex path.
+const maxIncUnit = 255
+
+// CanIndexIncrementally reports whether the discretisation fits the
+// incremental index's compact unit storage. The masks and the survival
+// probe have their own, tighter fallbacks (64 and 63 units); this bound is
+// the hard one past which bucket contents themselves would silently wrap.
+func CanIndexIncrementally(prm Params) bool {
+	maxU, _ := prm.WithDefaults().Units()
+	return maxU <= maxIncUnit
+}
+
+// NewIncIndex builds the static half of the index for the given class
+// weights (descending, as ClassWeights returns them) and discretisation,
+// which must satisfy CanIndexIncrementally (NewIncIndex panics otherwise:
+// a wrapped unit would not fail loudly, it would return wrong buckets).
+// The edge slice is aliased and must not change during the index's life
+// (the reduction never mutates the graph mid-Solve).
+func NewIncIndex(n int, edges []graph.Edge, ws []float64, prm Params) *IncIndex {
+	prm = prm.WithDefaults()
+	maxU, _ := prm.Units()
+	if maxU > maxIncUnit {
+		panic("layered: granularity too fine for IncIndex (gate on CanIndexIncrementally)")
+	}
+	x := &IncIndex{n: n, edges: edges, ws: ws, prm: prm, maxU: maxU}
+
+	x.bOff = make([]int32, len(edges)+1)
+	x.bStart = make([]int32, len(edges))
+	x.bAll = make([][][]int32, len(ws))
+	for c := range x.bAll {
+		x.bAll[c] = make([][]int32, maxU+1)
+	}
+	for i, e := range edges {
+		x.bOff[i] = int32(len(x.bUnits))
+		x.bStart[i] = -1
+		// floor(w/(gW)) is nondecreasing as W descends: skip classes below
+		// unit 2, collect the contiguous live band, stop past maxU.
+		for c, w := range ws {
+			u := int(math.Floor(float64(e.W) / (prm.Granularity * w)))
+			if u < 2 {
+				continue
+			}
+			if u > maxU {
+				break
+			}
+			if x.bStart[i] < 0 {
+				x.bStart[i] = int32(c)
+			}
+			x.bUnits = append(x.bUnits, uint8(u))
+			x.bAll[c][u] = append(x.bAll[c][u], int32(i))
+		}
+	}
+	x.bOff[len(edges)] = int32(len(x.bUnits))
+
+	x.aCnt = make([][]int32, len(ws))
+	x.bCnt = make([][]int32, len(ws))
+	x.aMask = make([]uint64, len(ws))
+	x.bMask = make([]uint64, len(ws))
+	x.aStamp = make([][]uint32, len(ws))
+	x.bStamp = make([][]uint32, len(ws))
+	x.aBuf = make([][][]graph.Edge, len(ws))
+	x.bBuf = make([][][]graph.Edge, len(ws))
+	x.aDig = make([][]uint64, len(ws))
+	x.bDig = make([][]uint64, len(ws))
+	x.probeStamp = make([]uint32, len(ws))
+	x.vStamp = make([][]uint32, len(ws))
+	x.vUnit = make([][]uint8, len(ws))
+	x.prStamp = make([][]uint32, len(ws))
+	x.pRows = make([][][]uint64, len(ws))
+	for c := range ws {
+		x.aCnt[c] = make([]int32, maxU+1)
+		x.bCnt[c] = make([]int32, maxU+1)
+		x.aStamp[c] = make([]uint32, maxU+1)
+		x.bStamp[c] = make([]uint32, maxU+1)
+		x.aBuf[c] = make([][]graph.Edge, maxU+1)
+		x.bBuf[c] = make([][]graph.Edge, maxU+1)
+		x.aDig[c] = make([]uint64, maxU+1)
+		x.bDig[c] = make([]uint64, maxU+1)
+		x.vStamp[c] = make([]uint32, n)
+		x.vUnit[c] = make([]uint8, n)
+		x.prStamp[c] = make([]uint32, maxU+1)
+		x.pRows[c] = make([][]uint64, maxU+1)
+	}
+	x.views = make([]IncView, len(ws))
+	for c := range x.views {
+		x.views[c] = IncView{ix: x, c: c}
+	}
+	return x
+}
+
+// Classes returns the number of class weights the index covers.
+func (x *IncIndex) Classes() int { return len(x.ws) }
+
+// aUnitsOf computes the per-class τA units of a matched edge of weight w:
+// ceil(w/(gW)) is nondecreasing as W descends, so the live classes (unit in
+// [1, maxU]; unit ≥ 1 always holds for positive weights) are a prefix.
+func (x *IncIndex) aUnitsOf(w graph.Weight, buf []uint8) []uint8 {
+	buf = buf[:0]
+	if w <= 0 {
+		// Non-positive matched weights land in unit ≤ 0 for every class;
+		// BuildIndexed skips τA = 0 layers, so they are dead everywhere.
+		return buf
+	}
+	for _, cw := range x.ws {
+		u := int(math.Ceil(float64(w) / (x.prm.Granularity * cw)))
+		if u > x.maxU {
+			break
+		}
+		buf = append(buf, uint8(u))
+	}
+	return buf
+}
+
+// BeginRound points the index at the round's parametrization: it
+// merge-diffs the matched list against par.M (window arithmetic only for
+// edges whose matched status or weight changed), then folds the fresh
+// bipartition into exact per-(class, unit) viability counts and masks. All
+// bucket materialisations and probe sets of the previous round are
+// invalidated by a stamp bump.
+func (x *IncIndex) BeginRound(par *Parametrized) {
+	x.par = par
+	x.stamp++
+	if x.stamp == 0 { // wrapped: stale stamps could collide
+		for c := range x.ws {
+			clear(x.aStamp[c])
+			clear(x.bStamp[c])
+			clear(x.vStamp[c])
+			clear(x.prStamp[c])
+		}
+		clear(x.probeStamp)
+		x.stamp = 1
+	}
+
+	// Merge-diff the sorted matched list against par.M's edges (ascending
+	// smaller endpoint, the m.Edges() order): unchanged edges carry their
+	// unit prefixes over, changed ones recompute.
+	next := x.swap[:0]
+	old := x.matched
+	oi := 0
+	for u := 0; u < par.M.N(); u++ {
+		v := par.M.Mate(u)
+		if v <= u {
+			continue
+		}
+		w := par.M.EdgeWeightAt(u)
+		for oi < len(old) && old[oi].e.U < u {
+			oi++ // dropped from the matching
+		}
+		if oi < len(old) && old[oi].e.U == u && old[oi].e.V == v && old[oi].e.W == w {
+			next = append(next, old[oi])
+			oi++
+			continue
+		}
+		var units []uint8
+		if oi < len(old) && old[oi].e.U == u {
+			units = old[oi].units // reuse the changed entry's storage
+			oi++
+		}
+		next = append(next, matchedEdge{
+			e:     graph.Edge{U: u, V: v, W: w},
+			units: x.aUnitsOf(w, units),
+		})
+	}
+	x.matched, x.swap = next, old[:0]
+
+	for c := range x.ws {
+		clear(x.aCnt[c])
+		clear(x.bCnt[c])
+	}
+	for i, e := range x.edges {
+		if par.Side[e.U] == par.Side[e.V] || par.M.Has(e.U, e.V) {
+			continue
+		}
+		for s := x.bOff[i]; s < x.bOff[i+1]; s++ {
+			c := int(x.bStart[i]) + int(s-x.bOff[i])
+			x.bCnt[c][x.bUnits[s]]++
+		}
+	}
+	for mi := range x.matched {
+		me := &x.matched[mi]
+		if par.Side[me.e.U] == par.Side[me.e.V] {
+			continue
+		}
+		for c, u := range me.units {
+			x.aCnt[c][u]++
+		}
+	}
+
+	for c := range x.ws {
+		aMask, bMask := uint64(1), uint64(0)
+		if x.maxU < 64 {
+			for u := 1; u <= x.maxU; u++ {
+				if x.aCnt[c][u] > 0 {
+					aMask |= 1 << uint(u)
+				}
+				if x.bCnt[c][u] > 0 {
+					bMask |= 1 << uint(u)
+				}
+			}
+		}
+		x.aMask[c], x.bMask[c] = aMask, bMask
+	}
+}
+
+// View returns the class-c bucket view for the current round. Views from
+// distinct classes may be used concurrently; a single view may not.
+func (x *IncIndex) View(c int) *IncView { return &x.views[c] }
+
+// IncView adapts one class of an IncIndex to the Index interface and adds
+// the amortised extras: the survival probe and the content digests the
+// cross-class solve cache keys on.
+type IncView struct {
+	ix *IncIndex
+	c  int
+}
+
+// Parametrization returns the current round's parametrized graph.
+func (v *IncView) Parametrization() *Parametrized { return v.ix.par }
+
+// ClassWeight returns the class weight W of this view.
+func (v *IncView) ClassWeight() float64 { return v.ix.ws[v.c] }
+
+// Config returns the discretisation parameters.
+func (v *IncView) Config() Params { return v.ix.prm }
+
+// A returns the matched crossing edges of the unit-u τA window, in par.A
+// order, materialising (and digesting) the bucket on first use this round.
+func (v *IncView) A(u int) []graph.Edge {
+	if u < 1 || u > v.ix.maxU {
+		return nil
+	}
+	return v.ix.aLive(v.c, u)
+}
+
+func (x *IncIndex) aLive(c, u int) []graph.Edge {
+	if x.aStamp[c][u] != x.stamp {
+		x.aStamp[c][u] = x.stamp
+		buf := x.aBuf[c][u][:0]
+		h := uint64(fnvOffset)
+		for mi := range x.matched {
+			me := &x.matched[mi]
+			if c >= len(me.units) || int(me.units[c]) != u {
+				continue
+			}
+			if x.par.Side[me.e.U] == x.par.Side[me.e.V] {
+				continue
+			}
+			buf = append(buf, me.e)
+			h = digestEdge(h, me.e)
+		}
+		x.aBuf[c][u] = buf
+		x.aDig[c][u] = h
+	}
+	return x.aBuf[c][u]
+}
+
+// B returns the unmatched crossing edges of the unit-u τB window, in par.B
+// order, materialising (and digesting) the bucket on first use this round.
+func (v *IncView) B(u int) []graph.Edge {
+	if u < 2 || u > v.ix.maxU {
+		return nil
+	}
+	return v.ix.bLive(v.c, u)
+}
+
+func (x *IncIndex) bLive(c, u int) []graph.Edge {
+	if x.bStamp[c][u] != x.stamp {
+		x.bStamp[c][u] = x.stamp
+		buf := x.bBuf[c][u][:0]
+		h := uint64(fnvOffset)
+		for _, ei := range x.bAll[c][u] {
+			e := x.edges[ei]
+			if x.par.Side[e.U] == x.par.Side[e.V] || x.par.M.Has(e.U, e.V) {
+				continue
+			}
+			buf = append(buf, e)
+			h = digestEdge(h, e)
+		}
+		x.bBuf[c][u] = buf
+		x.bDig[c][u] = h
+	}
+	return x.bBuf[c][u]
+}
+
+// ACount returns the exact crossing-filtered count of the unit-u τA window.
+func (v *IncView) ACount(u int) int {
+	if u < 1 || u > v.ix.maxU {
+		return 0
+	}
+	return int(v.ix.aCnt[v.c][u])
+}
+
+// BCount returns the exact crossing-filtered count of the unit-u τB window.
+func (v *IncView) BCount(u int) int {
+	if u < 2 || u > v.ix.maxU {
+		return 0
+	}
+	return int(v.ix.bCnt[v.c][u])
+}
+
+// Masks returns the populated-unit bitmasks (see BucketIndex.Masks). The
+// bMask omits bits 0 and 1, which no good τB entry can name.
+func (v *IncView) Masks() (aMask, bMask uint64, ok bool) {
+	if v.ix.maxU+1 > 64 {
+		return 0, 0, false
+	}
+	return v.ix.aMask[v.c], v.ix.bMask[v.c], true
+}
+
+// ensureProbe materialises the class's survival set: for every matched
+// crossing vertex, the τA unit of its matched edge (at most one per vertex).
+func (x *IncIndex) ensureProbe(c int) {
+	if x.probeStamp[c] == x.stamp {
+		return
+	}
+	x.probeStamp[c] = x.stamp
+	for mi := range x.matched {
+		me := &x.matched[mi]
+		if c >= len(me.units) {
+			continue
+		}
+		if x.par.Side[me.e.U] == x.par.Side[me.e.V] {
+			continue
+		}
+		u := me.units[c]
+		x.vStamp[c][me.e.U] = x.stamp
+		x.vUnit[c][me.e.U] = u
+		x.vStamp[c][me.e.V] = x.stamp
+		x.vUnit[c][me.e.V] = u
+	}
+}
+
+// probeRows materialises the class's unit-u probe table for the round: one
+// pass over the unit-u unmatched bucket classifying each edge by the
+// matched units (or freeness) of its R and L endpoints. The table encodes
+// exactly BuildIndexed's survives() predicate — a Y edge of a pair with
+// τA = (…, ua at layer t, ub at layer t+1, …) survives iff its R endpoint
+// carries a crossing matched edge of unit ua (or is free with ua = 0 in the
+// first layer) and symmetrically for L — so a single bit test per layer
+// answers whether any unit-u edge survives.
+func (x *IncIndex) probeRows(c, u int) []uint64 {
+	if x.prStamp[c][u] == x.stamp {
+		return x.pRows[c][u]
+	}
+	x.prStamp[c][u] = x.stamp
+	x.ensureProbe(c)
+	rows := x.pRows[c][u]
+	if rows == nil {
+		rows = make([]uint64, x.maxU+1)
+		x.pRows[c][u] = rows
+	} else {
+		clear(rows)
+	}
+	for _, e := range x.bLive(c, u) {
+		r, l := e.U, e.V
+		if !x.par.Side[r] {
+			r, l = l, r
+		}
+		var row int
+		switch {
+		case x.vStamp[c][r] == x.stamp:
+			row = int(x.vUnit[c][r]) // matched crossing, unit >= 1
+		case !x.par.M.IsMatched(r):
+			row = 0 // free: first-layer τA = 0 rule
+		default:
+			continue // matched off the bipartition: no layer keeps it
+		}
+		var col int
+		switch {
+		case x.vStamp[c][l] == x.stamp:
+			col = int(x.vUnit[c][l])
+		case !x.par.M.IsMatched(l):
+			col = freeLBit // free: last-layer τA = 0 rule
+		default:
+			continue
+		}
+		rows[row] |= 1 << uint(col)
+	}
+	return rows
+}
+
+// ProbeY reports whether the pair's layered graph would contain at least
+// one Y edge — the exact condition under which classAugmentations consults
+// it (an empty Y yields no augmenting structure and the build is skipped).
+// The probe applies the same window and vertex filters as BuildIndexed but
+// shares the per-(class, unit) survival tables across every pair of the
+// class, so a doomed pair costs O(layers) bit tests instead of a full
+// build. At discretisations too fine for the bit tables (maxU ≥ 63) the
+// probe conservatively keeps every pair.
+func (v *IncView) ProbeY(tau TauPair) bool {
+	x, c := v.ix, v.c
+	if x.maxU >= freeLBit {
+		return true
+	}
+	k := tau.K()
+	for t := 0; t < k; t++ {
+		rows := x.probeRows(c, tau.BUnits[t])
+		ua, ub := tau.AUnits[t], tau.AUnits[t+1]
+		var row uint64
+		if ua > 0 || t == 0 {
+			row = rows[ua]
+		}
+		if row == 0 {
+			continue
+		}
+		switch {
+		case ub > 0:
+			if row&(1<<uint(ub)) != 0 {
+				return true
+			}
+		case t+1 == k:
+			if row&(1<<freeLBit) != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PairKey appends a cache key identifying the pair's layered graph up to
+// bucket contents: the τ units plus the content digests of every window the
+// build would read. Two (class, pair) combinations with equal keys build
+// identical layered graphs — the weight W itself is deliberately absent, so
+// anchored and geometric classes whose windows coincide share one solve.
+// The free-vertex sets of τA = 0 boundary layers are class-independent
+// within a round, so the unit value alone covers them.
+func (v *IncView) PairKey(tau TauPair, key []byte) []byte {
+	x, c := v.ix, v.c
+	key = append(key, byte(tau.K()))
+	for _, u := range tau.AUnits {
+		key = append(key, byte(u))
+		if u > 0 {
+			v.A(u) // materialise for the digest
+			key = appendDigest(key, x.aDig[c][u])
+		}
+	}
+	for _, u := range tau.BUnits {
+		key = append(key, byte(u))
+		v.B(u)
+		key = appendDigest(key, x.bDig[c][u])
+	}
+	return key
+}
+
+// FNV-1a over the edge coordinates; collisions across distinct bucket
+// contents are the cache's only unsoundness and carry ~2^-64 probability
+// per content pair (the differential suite cross-checks end to end).
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+func digestEdge(h uint64, e graph.Edge) uint64 {
+	for _, x := range [3]uint64{uint64(e.U), uint64(e.V), uint64(e.W)} {
+		for i := 0; i < 8; i++ {
+			h ^= (x >> (8 * i)) & 0xff
+			h *= fnvPrime
+		}
+	}
+	return h
+}
+
+func appendDigest(key []byte, h uint64) []byte {
+	for i := 0; i < 8; i++ {
+		key = append(key, byte(h>>(8*i)))
+	}
+	return key
+}

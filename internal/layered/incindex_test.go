@@ -1,0 +1,300 @@
+package layered
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// testClassWeights builds a descending class-weight list around the
+// instance scale: the geometric sweep plus the anchored family, the same
+// shape core.ClassWeights produces (not imported to keep the package
+// dependency direction).
+func testClassWeights(edges []graph.Edge, prm Params) []float64 {
+	maxW, minW := 0.0, 0.0
+	for _, e := range edges {
+		w := float64(e.W)
+		if w > maxW {
+			maxW = w
+		}
+		if minW == 0 || w < minW {
+			minW = w
+		}
+	}
+	if maxW <= 0 {
+		return nil
+	}
+	var ws []float64
+	for w := maxW * float64(prm.MaxLayers+1); w >= minW/4; w /= 2 {
+		ws = append(ws, w)
+	}
+	maxU, _ := prm.Units()
+	for u := 2; u <= maxU; u++ {
+		ws = append(ws, maxW/(prm.Granularity*float64(u)))
+	}
+	// Descending order is the one structural requirement of IncIndex (the
+	// per-edge live classes must form contiguous bands).
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j] > ws[j-1]; j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+	return ws
+}
+
+// assertViewMatchesBucket compares one class view of the incremental index
+// against a freshly rebuilt BucketIndex: identical edge sequences for every
+// unit the enumeration can query, identical counts, and identical masks up
+// to the documented bMask bits 0 and 1.
+func assertViewMatchesBucket(t testing.TB, v *IncView, ref *BucketIndex, prm Params) {
+	t.Helper()
+	maxU, _ := prm.Units()
+	for u := 1; u <= maxU; u++ {
+		if got, want := v.A(u), ref.A(u); !edgeSlicesEqual(got, want) {
+			t.Fatalf("A(%d): incremental %v != rebuild %v", u, got, want)
+		}
+		if got, want := v.ACount(u), ref.ACount(u); got != want {
+			t.Fatalf("ACount(%d): %d != %d", u, got, want)
+		}
+	}
+	for u := 2; u <= maxU; u++ {
+		if got, want := v.B(u), ref.B(u); !edgeSlicesEqual(got, want) {
+			t.Fatalf("B(%d): incremental %v != rebuild %v", u, got, want)
+		}
+		if got, want := v.BCount(u), ref.BCount(u); got != want {
+			t.Fatalf("BCount(%d): %d != %d", u, got, want)
+		}
+	}
+	ia, ib, iok := v.Masks()
+	ra, rb, rok := ref.Masks()
+	if iok != rok {
+		t.Fatalf("Masks ok: %v != %v", iok, rok)
+	}
+	if iok {
+		if ia != ra {
+			t.Fatalf("aMask: %b != %b", ia, ra)
+		}
+		if ib != rb&^0b11 {
+			t.Fatalf("bMask: %b != %b (bits >= 2)", ib, rb&^0b11)
+		}
+	}
+}
+
+func edgeSlicesEqual(a, b []graph.Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mutateMatching toggles the matched status of edge e: a matched pair is
+// removed, a pair with both endpoints free is added — occasionally with a
+// perturbed weight, exercising the convention that the matching's weight,
+// not the graph's, feeds the τA windows.
+func mutateMatching(m *graph.Matching, e graph.Edge, perturb byte) {
+	if m.Has(e.U, e.V) {
+		if err := m.Remove(e.U, e.V); err != nil {
+			panic(err)
+		}
+		return
+	}
+	if m.IsMatched(e.U) || m.IsMatched(e.V) {
+		return
+	}
+	if perturb%4 == 0 {
+		e.W = graph.Weight(perturb) + 1
+	}
+	if err := m.Add(e); err != nil {
+		panic(err)
+	}
+}
+
+// TestIncIndexMatchesBucketIndex drives an IncIndex through simulated
+// rounds — matching deltas, fresh bipartitions — and asserts every class
+// view equals a from-scratch BucketIndex rebuild, and that BuildIndexed
+// over the view reproduces the rebuild's layered graph exactly.
+func TestIncIndexMatchesBucketIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		n := 8 + rng.Intn(24)
+		inst := graph.RandomGraph(n, 3*n, graph.Weight(1<<(3+rng.Intn(5))), rng)
+		edges := inst.G.Edges()
+		prm := Params{Granularity: []float64{0.5, 0.25, 0.125, 0.0625}[trial%4]}.WithDefaults()
+		ws := testClassWeights(edges, prm)
+		inc := NewIncIndex(n, edges, ws, prm)
+		m := graph.NewMatching(n)
+
+		for round := 0; round < 5; round++ {
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				mutateMatching(m, edges[rng.Intn(len(edges))], byte(rng.Intn(256)))
+			}
+			par := Parametrize(n, edges, m, rng)
+			inc.BeginRound(par)
+			for c, w := range ws {
+				ref := NewBucketIndex(par, w, prm)
+				v := inc.View(c)
+				assertViewMatchesBucket(t, v, ref, prm)
+
+				aMask, bMask, ok := ref.Masks()
+				if !ok {
+					continue
+				}
+				pairs := EnumerateGoodPairsMasked(prm, aMask, bMask, 40)
+				for _, tau := range pairs {
+					layRef := BuildIndexed(ref, tau, nil)
+					if got, want := v.ProbeY(tau), len(layRef.Y) > 0; got != want {
+						t.Fatalf("trial %d round %d class %d: ProbeY=%v, want %v (tau %+v)",
+							trial, round, c, got, want, tau)
+					}
+					layInc := BuildIndexed(v, tau, nil)
+					if layInc.NumV != layRef.NumV ||
+						!edgeSlicesEqual(layInc.X, layRef.X) ||
+						!edgeSlicesEqual(layInc.Y, layRef.Y) ||
+						!edgeSlicesEqual(layInc.InteriorX, layRef.InteriorX) {
+						t.Fatalf("trial %d round %d class %d tau %+v: layered graphs differ",
+							trial, round, c, tau)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIncIndexPairKeySharing checks the cache-key contract on a workload
+// engineered to produce cross-class duplicates (a single repeated weight):
+// equal PairKeys must mean equal layered graphs, and at least one pair of
+// classes must actually share a key.
+func TestIncIndexPairKeySharing(t *testing.T) {
+	g := graph.New(8)
+	for i := 0; i < 8; i += 2 {
+		g.MustAddEdge(i, i+1, 64)
+		g.MustAddEdge(i, (i+3)%8, 64)
+	}
+	edges := g.Edges()
+	prm := Params{}.WithDefaults()
+	// W=64 and W=60 put weight-64 edges in the same unmatched unit
+	// (floor(64/8) = floor(64/7.5) = 8), so their single good pair shares
+	// one layered graph; W=128 windows the edges at unit 4 and must not.
+	ws := []float64{128, 64, 60}
+	inc := NewIncIndex(8, edges, ws, prm)
+	m := graph.NewMatching(8)
+	rng := rand.New(rand.NewSource(3))
+	par := Parametrize(8, edges, m, rng)
+	inc.BeginRound(par)
+
+	type keyed struct {
+		c   int
+		tau TauPair
+	}
+	byKey := map[string][]keyed{}
+	for c := range ws {
+		v := inc.View(c)
+		aMask, bMask, _ := v.Masks()
+		for _, tau := range EnumerateGoodPairsMasked(prm, aMask, bMask, 100) {
+			key := string(v.PairKey(tau, nil))
+			byKey[key] = append(byKey[key], keyed{c: c, tau: tau})
+		}
+	}
+	shared := false
+	for _, ks := range byKey {
+		classes := map[int]bool{}
+		for _, k := range ks {
+			classes[k.c] = true
+		}
+		if len(classes) > 1 {
+			shared = true
+		}
+		first := BuildIndexed(inc.View(ks[0].c), ks[0].tau, nil)
+		for _, k := range ks[1:] {
+			lay := BuildIndexed(inc.View(k.c), k.tau, nil)
+			if lay.NumV != first.NumV ||
+				!edgeSlicesEqual(lay.X, first.X) ||
+				!edgeSlicesEqual(lay.Y, first.Y) {
+				t.Fatalf("equal PairKey but different layered graphs (classes %d vs %d)",
+					ks[0].c, k.c)
+			}
+		}
+	}
+	if !shared {
+		t.Error("uniform-weight workload produced no cross-class key sharing")
+	}
+}
+
+// FuzzIncrementalIndex mutates edge weights and matched status and
+// cross-checks the three builders against each other: the incremental
+// views against from-scratch BucketIndex rebuilds, and BuildIndexed over
+// both against the dense-id reference builder of reference.go.
+func FuzzIncrementalIndex(f *testing.F) {
+	f.Add(int64(1), uint8(2), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(int64(2), uint8(1), []byte{0xff, 0x80, 0x10, 9, 9, 9})
+	f.Add(int64(3), uint8(3), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, granSel uint8, script []byte) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(14)
+		inst := graph.RandomGraph(n, 2*n, 1<<6, rng)
+		edges := inst.G.Edges()
+		if len(edges) == 0 {
+			t.Skip()
+		}
+		prm := Params{Granularity: []float64{0.5, 0.25, 0.125, 0.0625}[granSel%4]}.WithDefaults()
+		ws := testClassWeights(edges, prm)
+		inc := NewIncIndex(n, edges, ws, prm)
+		m := graph.NewMatching(n)
+
+		// The script drives rounds: each byte pair toggles one edge's
+		// matched status (with occasional weight perturbation), a zero byte
+		// ends the round.
+		round := func(start int) int {
+			i := start
+			for ; i+1 < len(script) && script[i] != 0; i += 2 {
+				mutateMatching(m, edges[int(script[i])%len(edges)], script[i+1])
+			}
+			return i + 1
+		}
+		pos := 0
+		for r := 0; r < 4; r++ {
+			pos = round(pos)
+			side := make([]bool, n)
+			for v := range side {
+				side[v] = rng.Intn(2) == 1
+			}
+			par := ParametrizeWithSide(n, edges, m, side)
+			inc.BeginRound(par)
+			for c, w := range ws {
+				if c%3 != r%3 { // subsample classes per round for speed
+					continue
+				}
+				ref := NewBucketIndex(par, w, prm)
+				v := inc.View(c)
+				assertViewMatchesBucket(t, v, ref, prm)
+
+				aMask, bMask, ok := ref.Masks()
+				if !ok {
+					continue
+				}
+				for _, tau := range EnumerateGoodPairsMasked(prm, aMask, bMask, 12) {
+					layRef := BuildIndexed(ref, tau, nil)
+					if got, want := v.ProbeY(tau), len(layRef.Y) > 0; got != want {
+						t.Fatalf("ProbeY=%v, want %v (tau %+v, W=%v)", got, want, tau, w)
+					}
+					layInc := BuildIndexed(v, tau, nil)
+					if layInc.NumV != layRef.NumV ||
+						!edgeSlicesEqual(layInc.X, layRef.X) ||
+						!edgeSlicesEqual(layInc.Y, layRef.Y) {
+						t.Fatalf("incremental build differs (tau %+v, W=%v)", tau, w)
+					}
+					dense := BuildReference(par, tau, w, prm)
+					assertSameEdges(t, "X", layRef, layRef.X, dense, dense.X)
+					assertSameEdges(t, "Y", layRef, layRef.Y, dense, dense.Y)
+					assertSameEdges(t, "InteriorX", layRef, layRef.InteriorX, dense, dense.InteriorX)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package layered
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Failure-path coverage for the Lemma 4.12 witness construction: every
+// sentinel error must be reachable and returned for the malformed input it
+// documents (the happy paths live in witness_test.go).
+
+func TestBuildWitnessRejectsEmptyWalk(t *testing.T) {
+	g := graph.New(2)
+	m := graph.NewMatching(2)
+	if _, err := BuildWitness(2, g.Edges(), m, Walk{}, 16, Params{}); !errors.Is(err, ErrNotAlternating) {
+		t.Errorf("empty walk accepted: %v", err)
+	}
+}
+
+func TestBuildWitnessRejectsSideConflict(t *testing.T) {
+	// The triangle walk 0-1-2-0 with unmatched first and last edges needs
+	// vertex 0 in R (tail of edge 0-1) and in L (head of edge 2-0) at once.
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 32)
+	g.MustAddEdge(1, 2, 24)
+	g.MustAddEdge(2, 0, 32)
+	m := graph.NewMatching(3)
+	if err := m.Add(graph.Edge{U: 1, V: 2, W: 24}); err != nil {
+		t.Fatal(err)
+	}
+	walk := Walk{
+		Vertices: []int{0, 1, 2, 0},
+		Matched:  []bool{false, true, false},
+		Weights:  []graph.Weight{32, 24, 32},
+	}
+	if _, err := BuildWitness(3, g.Edges(), m, walk, 64, Params{}); !errors.Is(err, ErrSideConflict) {
+		t.Errorf("side-conflicted walk accepted: %v", err)
+	}
+}
+
+func TestBuildWitnessRejectsUncapturedWalk(t *testing.T) {
+	// The walk claims its middle edge is matched, but the matching is
+	// empty: the middle layer keeps no vertex copy, so the walk's edges
+	// cannot all survive and the certificate must fail as not captured.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 32)
+	g.MustAddEdge(1, 2, 40)
+	g.MustAddEdge(2, 3, 32)
+	m := graph.NewMatching(4)
+	walk := Walk{
+		Vertices: []int{0, 1, 2, 3},
+		Matched:  []bool{false, true, false},
+		Weights:  []graph.Weight{32, 40, 32},
+	}
+	if _, err := BuildWitness(4, g.Edges(), m, walk, 64, Params{}); !errors.Is(err, ErrNotCaptured) {
+		t.Errorf("uncaptured walk accepted: %v", err)
+	}
+}
+
+func TestBuildWitnessRejectsOverweightMatched(t *testing.T) {
+	// A matched weight above W rounds to a unit past maxU, violating the
+	// Table-1 range constraint (C): the derived pair is not good.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 32)
+	g.MustAddEdge(1, 2, 100)
+	g.MustAddEdge(2, 3, 32)
+	m := graph.NewMatching(4)
+	if err := m.Add(graph.Edge{U: 1, V: 2, W: 100}); err != nil {
+		t.Fatal(err)
+	}
+	walk := Walk{
+		Vertices: []int{0, 1, 2, 3},
+		Matched:  []bool{false, true, false},
+		Weights:  []graph.Weight{32, 100, 32},
+	}
+	if _, err := BuildWitness(4, g.Edges(), m, walk, 64, Params{}); !errors.Is(err, ErrNotGood) {
+		t.Errorf("overweight matched edge accepted: %v", err)
+	}
+}
+
+func TestBlowUpRejectsUnmatchedStart(t *testing.T) {
+	cycle := Walk{
+		Vertices: []int{0, 1, 2, 3},
+		Matched:  []bool{false, true, false, true},
+		Weights:  []graph.Weight{32, 24, 32, 24},
+	}
+	if _, err := BlowUp(cycle, 2); !errors.Is(err, ErrNotAlternating) {
+		t.Errorf("unmatched-start cycle accepted: %v", err)
+	}
+}
+
+func TestBlowUpRejectsEmptyCycle(t *testing.T) {
+	if _, err := BlowUp(Walk{Vertices: []int{0}}, 2); !errors.Is(err, ErrNotAlternating) {
+		t.Errorf("empty cycle accepted: %v", err)
+	}
+}

@@ -1,0 +1,174 @@
+package solvertest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/layered"
+)
+
+// TestAmortizedMatchesNaive is the headline differential: the amortised
+// pipeline (incremental index + survival probe + cross-class cache) must
+// return the bit-identical matching of the naive per-(round, class) rebuild
+// after every round, on every generator family, at several seeds.
+func TestAmortizedMatchesNaive(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for _, w := range Workloads(rand.New(rand.NewSource(seed))) {
+			sN, sA := AssertBitIdentical(t, w,
+				core.Options{},
+				core.Options{Amortize: true},
+				seed+10, 6)
+			// The probe rejects exactly the pairs the naive loop builds and
+			// then skips for an empty Y, and every cache hit replaces one
+			// solver call, so the call accounting must reconcile.
+			if sN.LayeredBuilt != sA.LayeredBuilt {
+				t.Errorf("%s seed %d: LayeredBuilt %d (naive) vs %d (amortised)",
+					w.Name, seed, sN.LayeredBuilt, sA.LayeredBuilt)
+			}
+			if sN.SolverCalls != sA.SolverCalls+sA.CacheHits {
+				t.Errorf("%s seed %d: SolverCalls %d (naive) vs %d+%d hits (amortised)",
+					w.Name, seed, sN.SolverCalls, sA.SolverCalls, sA.CacheHits)
+			}
+			if sN.ProbeSkips != 0 || sN.CacheHits != 0 {
+				t.Errorf("%s seed %d: naive stats carry amortised counters: %+v", w.Name, seed, sN)
+			}
+		}
+	}
+}
+
+// TestAmortizedMatchesNaiveParallel repeats the differential with the class
+// sweep on a worker pool: amortisation and parallelism must compose without
+// disturbing the deterministic merge.
+func TestAmortizedMatchesNaiveParallel(t *testing.T) {
+	for _, w := range Workloads(rand.New(rand.NewSource(4))) {
+		AssertBitIdentical(t, w,
+			core.Options{Workers: 3},
+			core.Options{Amortize: true, Workers: 3},
+			14, 5)
+	}
+}
+
+// TestRebuildMatchesMaintained pits the two halves of the incremental
+// index against each other: a Runner held across rounds applies only
+// matching deltas to its index, while a fresh Runner per round rebuilds the
+// same index from scratch (the package-level core.Round path). The
+// maintained state must be indistinguishable from the rebuild.
+func TestRebuildMatchesMaintained(t *testing.T) {
+	for _, w := range Workloads(rand.New(rand.NewSource(5))) {
+		opts := core.Options{Amortize: true}
+		seed := int64(15)
+
+		held := core.NewRunner(w.G, optsWithRng(opts, seed))
+		mHeld := w.cloneInitial()
+		mFresh := w.cloneInitial()
+		freshOpts := optsWithRng(opts, seed) // shared Rng across fresh Runners
+		var sHeld, sFresh core.Stats
+		for round := 0; round < 6; round++ {
+			if _, err := held.Round(mHeld, &sHeld); err != nil {
+				t.Fatalf("%s round %d (maintained): %v", w.Name, round, err)
+			}
+			if _, err := core.Round(w.G, mFresh, freshOpts, &sFresh); err != nil {
+				t.Fatalf("%s round %d (rebuild): %v", w.Name, round, err)
+			}
+			if err := equalMatchings(mHeld, mFresh); err != nil {
+				t.Fatalf("%s round %d: %v", w.Name, round, err)
+			}
+		}
+	}
+}
+
+// TestCacheTransparent isolates the cross-class cache: installing an
+// explicit exact Solver disables the cache (and nothing else the solver
+// touches differs from the scratch-backed default), so equal matchings here
+// mean cached candidate replay is indistinguishable from re-solving.
+func TestCacheTransparent(t *testing.T) {
+	for _, w := range Workloads(rand.New(rand.NewSource(6))) {
+		sOn, sOff := AssertBitIdentical(t, w,
+			core.Options{Amortize: true},
+			core.Options{Amortize: true, Solver: core.ExactSolver()},
+			16, 6)
+		if sOff.CacheHits != 0 {
+			t.Errorf("%s: explicit solver still hit the cache %d times", w.Name, sOff.CacheHits)
+		}
+		_ = sOn
+	}
+}
+
+// TestWarmStartQuality holds the warm-started configuration to the
+// guarantees it actually makes: every round yields a valid matching, the
+// weight never decreases, and the converged weight is not materially worse
+// than the cold run's (the seed shifts tie-breaking, not the approximation
+// argument: each solve is still exactly maximum).
+func TestWarmStartQuality(t *testing.T) {
+	for _, w := range Workloads(rand.New(rand.NewSource(7))) {
+		cold, err := core.Solve(w.G, w.Initial, optsWithRng(core.Options{
+			Amortize: true, MaxRounds: 10, Patience: 10}, 17))
+		if err != nil {
+			t.Fatalf("%s cold: %v", w.Name, err)
+		}
+		warm, err := core.Solve(w.G, w.Initial, optsWithRng(core.Options{
+			Amortize: true, WarmStart: true, MaxRounds: 10, Patience: 10}, 17))
+		if err != nil {
+			t.Fatalf("%s warm: %v", w.Name, err)
+		}
+		if err := warm.M.Validate(); err != nil {
+			t.Fatalf("%s warm: invalid matching: %v", w.Name, err)
+		}
+		if warm.Stats.CacheHits != 0 {
+			t.Errorf("%s warm: cache active despite warm start (%d hits)", w.Name, warm.Stats.CacheHits)
+		}
+		coldW, warmW := float64(cold.M.Weight()), float64(warm.M.Weight())
+		if coldW > 0 && warmW < 0.9*coldW {
+			t.Errorf("%s: warm weight %v below 90%% of cold %v", w.Name, warmW, coldW)
+		}
+	}
+}
+
+// TestAmortizeFineGranularityFallback pins the fallback past the
+// incremental index's compact unit storage: at granularity 1/300 the
+// amortised configuration must silently use the naive path (no amortised
+// counters) and still return the naive matchings — not wrap τ units.
+func TestAmortizeFineGranularityFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	inst := graph.PlantedMatching(8, 12, 100, 200, rng)
+	w := Workload{Name: "fine-granularity", G: inst.G}
+	fine := layered.Params{Granularity: 1.0 / 300}
+	_, sA := AssertBitIdentical(t, w,
+		core.Options{Layered: fine, MaxPairsPerClass: 10},
+		core.Options{Layered: fine, MaxPairsPerClass: 10, Amortize: true},
+		19, 2)
+	if sA.ProbeSkips != 0 || sA.CacheHits != 0 {
+		t.Errorf("fine granularity still ran the amortised pipeline: %+v", sA)
+	}
+}
+
+// TestWarmStartMonotone checks Invariant 9 (weight never decreases across
+// rounds) on the warm path, which replaces the solver rather than the
+// round structure.
+func TestWarmStartMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	inst := graph.PlantedMatching(40, 200, 50, 120, rng)
+	m := graph.NewMatching(inst.G.N())
+	r := core.NewRunner(inst.G, core.Options{WarmStart: true, Rng: rng})
+	var stats core.Stats
+	prev := m.Weight()
+	for round := 0; round < 8; round++ {
+		if _, err := r.Round(m, &stats); err != nil {
+			t.Fatal(err)
+		}
+		if m.Weight() < prev {
+			t.Fatalf("round %d decreased weight %d -> %d", round, prev, m.Weight())
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		prev = m.Weight()
+	}
+}
+
+func optsWithRng(opts core.Options, seed int64) core.Options {
+	opts.Rng = rand.New(rand.NewSource(seed))
+	return opts
+}
