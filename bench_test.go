@@ -290,6 +290,62 @@ func BenchmarkSolveAmortizedWarm(b *testing.B) {
 	solveBench(b, core.Options{Amortize: true, WarmStart: true})
 }
 
+// solveBenchOn runs a fixed-budget Solve on inst for the solver-bound tier
+// benchmarks: the E13/E14 instance families are sized so the unweighted
+// subroutine's share of round time is as large as the reduction's layered
+// graphs allow, which is where the warm-started Hopcroft–Karp configuration
+// must prove (or honestly disprove) itself. Reported metrics: final weight
+// and total HK phases (the unit of work a warm start saves).
+func solveBenchOn(b *testing.B, inst graph.Instance, opts core.Options, rounds int) {
+	opts.MaxRounds = rounds
+	opts.Patience = rounds
+	b.ReportAllocs()
+	b.ResetTimer()
+	var weight graph.Weight
+	var phases int
+	for i := 0; i < b.N; i++ {
+		opts.Rng = rand.New(rand.NewSource(11))
+		res, err := core.Solve(inst.G, nil, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		weight = res.M.Weight()
+		phases = res.Stats.SolverPhases
+	}
+	b.ReportMetric(float64(weight), "final-weight")
+	b.ReportMetric(float64(phases), "hk-phases")
+}
+
+func bandedE13() graph.Instance {
+	return graph.BandedWeights(240, 8*240, 100, rand.New(rand.NewSource(2)))
+}
+
+func uniformE14() graph.Instance {
+	return graph.UniformWeights(1000, 6000, 128, rand.New(rand.NewSource(3)))
+}
+
+// BenchmarkSolveE13 is the dense one-octave band of the solver-bound tier
+// (E13), amortised cold-solver configuration.
+func BenchmarkSolveE13(b *testing.B) {
+	solveBenchOn(b, bandedE13(), core.Options{Amortize: true, MaxPairsPerClass: 2000}, 3)
+}
+
+// BenchmarkSolveE13Warm is BenchmarkSolveE13 with the warm-started solver.
+func BenchmarkSolveE13Warm(b *testing.B) {
+	solveBenchOn(b, bandedE13(), core.Options{Amortize: true, MaxPairsPerClass: 2000, WarmStart: true}, 3)
+}
+
+// BenchmarkSolveE14 is the uniform heavy class of the solver-bound tier
+// (E14), amortised cold-solver configuration.
+func BenchmarkSolveE14(b *testing.B) {
+	solveBenchOn(b, uniformE14(), core.Options{Amortize: true}, 3)
+}
+
+// BenchmarkSolveE14Warm is BenchmarkSolveE14 with the warm-started solver.
+func BenchmarkSolveE14Warm(b *testing.B) {
+	solveBenchOn(b, uniformE14(), core.Options{Amortize: true, WarmStart: true}, 3)
+}
+
 // BenchmarkRoundParallel is BenchmarkRound with the class sweep on a worker
 // pool (results are identical by construction; only wall-clock differs, and
 // only on multi-core hardware).

@@ -33,6 +33,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	input := fs.String("input", "-", "graph file in text edge format ('-' = stdin)")
 	seed := fs.Int64("seed", 1, "random seed")
 	granularity := fs.Float64("granularity", 0, "layered-graph granularity (0 = default 1/8)")
+	amortize := fs.Bool("amortize", false, "approx: use the cross-round amortised pipeline (bit-identical)")
+	warm := fs.Bool("warm", false, "approx: warm-start Hopcroft-Karp from the previous pair")
+	workers := fs.Int("workers", 0, "approx: per-class worker pool size (0 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,13 +74,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	case "randarrival-unweighted":
 		m = repro.RandomArrivalUnweighted(g, *seed)
 	case "approx":
-		res, err := repro.ApproxWeighted(g, nil, repro.ApproxOptions{Seed: *seed, Granularity: *granularity})
+		res, err := repro.ApproxWeighted(g, nil, repro.ApproxOptions{
+			Seed: *seed, Granularity: *granularity,
+			Amortize: *amortize, WarmStart: *warm, Workers: *workers,
+		})
 		if err != nil {
 			return err
 		}
 		m = res.M
 		fmt.Fprintf(stdout, "rounds=%d solver-calls=%d augmentations=%d\n",
 			res.Stats.Rounds, res.Stats.SolverCalls, res.Stats.AppliedAugmentations)
+		if *amortize {
+			fmt.Fprintf(stdout, "pairs=%d enum-pruned=%d probe-skips=%d cache-hits=%d hk-phases=%d\n",
+				res.Stats.LayeredBuilt, res.Stats.EnumPruned, res.Stats.ProbeSkips,
+				res.Stats.CacheHits, res.Stats.SolverPhases)
+		}
 	case "streaming":
 		res, err := repro.ApproxWeightedStreaming(g, nil, repro.ApproxOptions{Seed: *seed, Granularity: *granularity})
 		if err != nil {

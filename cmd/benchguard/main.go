@@ -1,22 +1,31 @@
 // Command benchguard turns `go test -bench` output into a pass/fail gate
-// for CI. It enforces two kinds of bounds:
+// for CI. It enforces three kinds of bounds:
 //
 //   - relative: -speedup "BenchmarkSolveAmortized/BenchmarkSolve>=1.2"
 //     requires the first benchmark to be at least 1.2× faster than the
 //     second within the same run. Ratios compare two measurements from one
 //     machine, so they are immune to runner-speed variance — this is the
 //     primary regression gate for the amortised pipeline.
-//   - absolute: -baseline BENCH_pr2.json -slack 3 requires every benchmark
-//     present in both the run and the baseline file to stay within slack ×
-//     its committed ns/op. The generous default slack only catches
-//     catastrophic regressions that a ratio cannot see (both paths slowing
-//     down together); CI machines are not the ledger machine.
+//   - absolute time: -baseline BENCH_pr2.json -slack 3 requires every
+//     benchmark present in both the run and the baseline file to stay
+//     within slack × its committed ns/op. The generous default slack only
+//     catches catastrophic regressions that a ratio cannot see (both paths
+//     slowing down together); CI machines are not the ledger machine.
+//   - absolute allocations: -allocslack 1.5 requires allocs/op to stay
+//     within allocslack × the committed allocs_per_op of the same baseline
+//     (needs `go test -benchmem`). Allocation counts are deterministic, so
+//     the slack here is much tighter than the time slack; 0 disables the
+//     check.
+//
+// With -out FILE the parsed measurements and every check's verdict are also
+// written as JSON — the per-run perf artifact CI uploads so that regressions
+// can be traced across runs without rerunning anything.
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'BenchmarkSolve' . | benchguard \
+//	go test -run '^$' -bench 'BenchmarkSolve' -benchmem . | benchguard \
 //	    -speedup 'BenchmarkSolveAmortized/BenchmarkSolve>=1.2' \
-//	    -baseline BENCH_pr2.json -slack 3
+//	    -baseline BENCH_pr2.json -slack 3 -allocslack 1.5 -out result.json
 package main
 
 import (
@@ -37,11 +46,20 @@ func main() {
 	}
 }
 
-// benchLine matches `BenchmarkName[-procs] <iters> <ns> ns/op ...`.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// benchLine matches `BenchmarkName[-procs] <iters> <ns> ns/op ...`; the
+// allocs group is present when the run used -benchmem.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9]+) allocs/op)?`)
 
-func parseBench(r *os.File) (map[string]float64, error) {
-	out := make(map[string]float64)
+// measurement is one benchmark's parsed numbers. AllocsPerOp is -1 when the
+// run did not report allocations (no -benchmem); a real 0 means an
+// allocation-free benchmark, so the field is always emitted.
+type measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func parseBench(r *os.File) (map[string]measurement, error) {
+	out := make(map[string]measurement)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
@@ -54,7 +72,13 @@ func parseBench(r *os.File) (map[string]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("line %q: %w", line, err)
 		}
-		out[m[1]] = ns
+		mm := measurement{NsPerOp: ns, AllocsPerOp: -1}
+		if m[3] != "" {
+			if mm.AllocsPerOp, err = strconv.ParseInt(m[3], 10, 64); err != nil {
+				return nil, fmt.Errorf("line %q: %w", line, err)
+			}
+		}
+		out[m[1]] = mm
 	}
 	return out, sc.Err()
 }
@@ -65,9 +89,25 @@ type baselineFile struct {
 	Benchmarks []struct {
 		Name  string `json:"name"`
 		After *struct {
-			NsPerOp float64 `json:"ns_per_op"`
+			NsPerOp     float64 `json:"ns_per_op"`
+			AllocsPerOp int64   `json:"allocs_per_op"`
 		} `json:"after"`
 	} `json:"benchmarks"`
+}
+
+// check is one enforced bound's verdict, as emitted into the -out report.
+type check struct {
+	Kind     string  `json:"kind"` // "speedup", "time-baseline", "allocs-baseline"
+	Spec     string  `json:"spec"`
+	Measured float64 `json:"measured"`
+	Limit    float64 `json:"limit"`
+	OK       bool    `json:"ok"`
+}
+
+type report struct {
+	Benchmarks map[string]measurement `json:"benchmarks"`
+	Checks     []check                `json:"checks"`
+	Pass       bool                   `json:"pass"`
 }
 
 func run(args []string, stdin *os.File) error {
@@ -75,6 +115,8 @@ func run(args []string, stdin *os.File) error {
 	speedups := fs.String("speedup", "", "comma-separated relative bounds, each \"A/B>=ratio\"")
 	baseline := fs.String("baseline", "", "BENCH_*.json ledger file for absolute bounds")
 	slack := fs.Float64("slack", 3.0, "allowed multiple of the baseline ns/op")
+	allocSlack := fs.Float64("allocslack", 0, "allowed multiple of the baseline allocs/op (0 disables; needs -benchmem input)")
+	outPath := fs.String("out", "", "write the parsed measurements and check verdicts as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,7 +129,15 @@ func run(args []string, stdin *os.File) error {
 		return fmt.Errorf("no benchmark lines on stdin")
 	}
 
+	rep := report{Benchmarks: got}
 	var failures []string
+	record := func(c check, failure string) {
+		rep.Checks = append(rep.Checks, c)
+		if !c.OK {
+			failures = append(failures, failure)
+		}
+	}
+
 	for _, spec := range strings.Split(*speedups, ",") {
 		spec = strings.TrimSpace(spec)
 		if spec == "" {
@@ -107,16 +157,16 @@ func run(args []string, stdin *os.File) error {
 		if ratio, err = strconv.ParseFloat(parts[1], 64); err != nil {
 			return fmt.Errorf("bad ratio in %q: %w", spec, err)
 		}
-		fastNs, ok1 := got[fast]
-		slowNs, ok2 := got[slow]
+		fastM, ok1 := got[fast]
+		slowM, ok2 := got[slow]
 		if !ok1 || !ok2 {
 			return fmt.Errorf("speedup %q: missing benchmark (have %v)", spec, keys(got))
 		}
-		measured := slowNs / fastNs
-		if measured < ratio {
-			failures = append(failures, fmt.Sprintf(
-				"%s is only %.2fx faster than %s, want >= %.2fx", fast, measured, slow, ratio))
-		} else {
+		measured := slowM.NsPerOp / fastM.NsPerOp
+		ok := measured >= ratio
+		record(check{Kind: "speedup", Spec: spec, Measured: measured, Limit: ratio, OK: ok},
+			fmt.Sprintf("%s is only %.2fx faster than %s, want >= %.2fx", fast, measured, slow, ratio))
+		if ok {
 			fmt.Printf("benchguard: %s %.2fx faster than %s (>= %.2fx) ok\n", fast, measured, slow, ratio)
 		}
 	}
@@ -131,20 +181,45 @@ func run(args []string, stdin *os.File) error {
 			return fmt.Errorf("%s: %w", *baseline, err)
 		}
 		for _, b := range base.Benchmarks {
-			if b.After == nil || b.After.NsPerOp <= 0 {
+			if b.After == nil {
 				continue
 			}
-			ns, ok := got[b.Name]
+			m, ok := got[b.Name]
 			if !ok {
 				continue
 			}
-			if limit := b.After.NsPerOp * *slack; ns > limit {
-				failures = append(failures, fmt.Sprintf(
-					"%s: %.0f ns/op exceeds %.1fx baseline %.0f", b.Name, ns, *slack, b.After.NsPerOp))
-			} else {
-				fmt.Printf("benchguard: %s %.0f ns/op within %.1fx of baseline %.0f ok\n",
-					b.Name, ns, *slack, b.After.NsPerOp)
+			if b.After.NsPerOp > 0 {
+				limit := b.After.NsPerOp * *slack
+				ok := m.NsPerOp <= limit
+				record(check{Kind: "time-baseline", Spec: b.Name, Measured: m.NsPerOp, Limit: limit, OK: ok},
+					fmt.Sprintf("%s: %.0f ns/op exceeds %.1fx baseline %.0f", b.Name, m.NsPerOp, *slack, b.After.NsPerOp))
+				if ok {
+					fmt.Printf("benchguard: %s %.0f ns/op within %.1fx of baseline %.0f ok\n",
+						b.Name, m.NsPerOp, *slack, b.After.NsPerOp)
+				}
 			}
+			if *allocSlack > 0 && b.After.AllocsPerOp > 0 && m.AllocsPerOp >= 0 {
+				limit := float64(b.After.AllocsPerOp) * *allocSlack
+				ok := float64(m.AllocsPerOp) <= limit
+				record(check{Kind: "allocs-baseline", Spec: b.Name, Measured: float64(m.AllocsPerOp), Limit: limit, OK: ok},
+					fmt.Sprintf("%s: %d allocs/op exceeds %.1fx baseline %d", b.Name, m.AllocsPerOp, *allocSlack, b.After.AllocsPerOp))
+				if ok {
+					fmt.Printf("benchguard: %s %d allocs/op within %.1fx of baseline %d ok\n",
+						b.Name, m.AllocsPerOp, *allocSlack, b.After.AllocsPerOp)
+				}
+			}
+		}
+	}
+
+	rep.Pass = len(failures) == 0
+	if *outPath != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		raw = append(raw, '\n')
+		if err := os.WriteFile(*outPath, raw, 0o644); err != nil {
+			return err
 		}
 	}
 
@@ -154,7 +229,7 @@ func run(args []string, stdin *os.File) error {
 	return nil
 }
 
-func keys(m map[string]float64) []string {
+func keys(m map[string]measurement) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,6 +27,12 @@ func runWithInput(t *testing.T, input string, args ...string) error {
 const sample = `goos: linux
 BenchmarkSolve              	      40	  28350723 ns/op	      8588 final-weight
 BenchmarkSolveAmortized-4   	     121	   9811856 ns/op	      8588 final-weight
+PASS
+`
+
+const sampleMem = `goos: linux
+BenchmarkSolve              	      40	  28350723 ns/op	      8588 final-weight	14608856 B/op	   63498 allocs/op
+BenchmarkSolveAmortized-4   	     121	   9811856 ns/op	      8588 final-weight	 3052682 B/op	   19764 allocs/op
 PASS
 `
 
@@ -70,5 +77,95 @@ func TestBaselineBounds(t *testing.T) {
 func TestNoInput(t *testing.T) {
 	if err := runWithInput(t, "PASS\n"); err == nil {
 		t.Fatal("empty bench output accepted")
+	}
+}
+
+func writeBaseline(t *testing.T, body string) string {
+	t.Helper()
+	base := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(base, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+func TestAllocsBounds(t *testing.T) {
+	base := writeBaseline(t, `{"benchmarks":[
+		{"name":"BenchmarkSolve","after":{"ns_per_op":30000000,"allocs_per_op":63000}},
+		{"name":"BenchmarkSolveAmortized","after":{"ns_per_op":10000000,"allocs_per_op":19000}}
+	]}`)
+	if err := runWithInput(t, sampleMem, "-baseline", base, "-allocslack", "1.5"); err != nil {
+		t.Fatal(err)
+	}
+	err := runWithInput(t, sampleMem, "-baseline", base, "-allocslack", "1.0")
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("want allocs failure, got %v", err)
+	}
+	// Without -benchmem input the allocs check must not fire (no data).
+	if err := runWithInput(t, sample, "-baseline", base, "-allocslack", "1.0"); err != nil {
+		t.Fatalf("allocs check fired without allocation data: %v", err)
+	}
+}
+
+func TestOutReport(t *testing.T) {
+	base := writeBaseline(t, `{"benchmarks":[
+		{"name":"BenchmarkSolve","after":{"ns_per_op":30000000,"allocs_per_op":63000}}
+	]}`)
+	out := filepath.Join(t.TempDir(), "result.json")
+	if err := runWithInput(t, sampleMem,
+		"-speedup", "BenchmarkSolveAmortized/BenchmarkSolve>=1.2",
+		"-baseline", base, "-allocslack", "1.5", "-out", out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Benchmarks map[string]struct {
+			NsPerOp     float64 `json:"ns_per_op"`
+			AllocsPerOp int64   `json:"allocs_per_op"`
+		} `json:"benchmarks"`
+		Checks []struct {
+			Kind string `json:"kind"`
+			OK   bool   `json:"ok"`
+		} `json:"checks"`
+		Pass bool `json:"pass"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bad report JSON: %v", err)
+	}
+	if !rep.Pass {
+		t.Error("report marks passing run as failed")
+	}
+	if m := rep.Benchmarks["BenchmarkSolveAmortized"]; m.AllocsPerOp != 19764 {
+		t.Errorf("allocs_per_op = %d, want 19764", m.AllocsPerOp)
+	}
+	kinds := map[string]bool{}
+	for _, c := range rep.Checks {
+		kinds[c.Kind] = true
+		if !c.OK {
+			t.Errorf("check %+v failed in passing run", c)
+		}
+	}
+	for _, k := range []string{"speedup", "time-baseline", "allocs-baseline"} {
+		if !kinds[k] {
+			t.Errorf("report missing %s check", k)
+		}
+	}
+	// A failing run still writes the report, with pass=false.
+	if err := runWithInput(t, sampleMem,
+		"-speedup", "BenchmarkSolveAmortized/BenchmarkSolve>=9.9", "-out", out); err == nil {
+		t.Fatal("want speedup failure")
+	}
+	raw, err = os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Error("failing run reported pass=true")
 	}
 }

@@ -102,6 +102,8 @@ func Registry() map[string]Runner {
 		"E10": E10Overhead,
 		"E11": E11Ablations,
 		"E12": E12Convergence,
+		"E13": E13SolverBound,
+		"E14": E14UniformClass,
 	}
 }
 

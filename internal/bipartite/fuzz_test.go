@@ -45,8 +45,9 @@ func FuzzWarmStartHK(f *testing.F) {
 			}
 			sd := Seed{L: int32(l), R: int32(r), EdgeIndex: int32(ei)}
 			// Corrupt a fraction of the seeds: wrong edge index, swapped
-			// sides, out-of-range ids. The solver must skip them.
-			switch script[i+1] % 5 {
+			// sides, out-of-range ids, endpoint-only seeds the solver must
+			// resolve itself (including unresolvable non-adjacent pairs).
+			switch script[i+1] % 7 {
 			case 1:
 				sd.EdgeIndex = int32(script[i+1]) // likely mismatched
 			case 2:
@@ -55,6 +56,14 @@ func FuzzWarmStartHK(f *testing.F) {
 				sd.L = int32(b.N) + int32(script[i+1])
 			case 4:
 				sd.R = -1
+			case 5:
+				sd.EdgeIndex = -1 // adjacency-resolved endpoint seed
+			case 6:
+				sd.EdgeIndex = -1 // likely non-adjacent: must be skipped
+				sd.R = int32(b.Edges[int(script[i+1])%len(b.Edges)].V)
+				if !b.Side[sd.R] {
+					sd.R = sd.L
+				}
 			}
 			seeds = append(seeds, sd)
 		}

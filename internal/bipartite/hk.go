@@ -86,7 +86,10 @@ func HopcroftKarpScratch(b *Bip, s *Scratch) Result {
 }
 
 // Seed pre-matches one edge of a warm-started solve: left vertex L matched
-// to right vertex R via edge EdgeIndex of b.Edges.
+// to right vertex R via edge EdgeIndex of b.Edges. EdgeIndex −1 asks the
+// solver to resolve the edge itself from its adjacency (an O(deg(L)) scan),
+// which spares callers that know only the endpoint pair an O(|E|) lookup
+// structure per solve; if no L–R edge exists the seed is skipped.
 type Seed struct {
 	L, R      int32
 	EdgeIndex int32
@@ -191,6 +194,18 @@ func boundedHK(b *Bip, maxLen int, s *Scratch, seeds []Seed) Result {
 	for _, sd := range seeds {
 		if sd.L < 0 || int(sd.L) >= b.N || sd.R < 0 || int(sd.R) >= b.N {
 			continue
+		}
+		if sd.EdgeIndex == -1 {
+			// Resolve the edge from the CSR adjacency built by prepare.
+			if b.Side[sd.L] {
+				continue
+			}
+			for j := s.off[sd.L]; j < s.off[sd.L+1]; j++ {
+				if s.to[j] == sd.R {
+					sd.EdgeIndex = s.eidx[j]
+					break
+				}
+			}
 		}
 		if sd.EdgeIndex < 0 || int(sd.EdgeIndex) >= len(b.Edges) {
 			continue

@@ -48,7 +48,16 @@ func newAmortizer(g *graph.Graph, opts Options) *amortizer {
 	}
 	am.ctxs = make([]amortClassCtx, len(weights))
 	for i := range am.ctxs {
-		am.ctxs[i] = amortClassCtx{view: am.inc.View(i), cache: am.cache}
+		am.ctxs[i] = amortClassCtx{
+			view:  am.inc.View(i),
+			cache: am.cache,
+			enum:  layered.NewPairScratch(),
+		}
+		// Cross-round warm state only for the seedable default solver (the
+		// same gate newClassWorker applies on the naive path).
+		if opts.WarmStart && opts.Solver == nil && opts.SolverFactory == nil {
+			am.ctxs[i].warm = newWarmState(bipartite.NewScratch())
+		}
 	}
 	return am
 }
@@ -64,10 +73,19 @@ func (am *amortizer) beginRound(par *layered.Parametrized) {
 }
 
 // amortClassCtx is the per-class slice of the amortised state handed to
-// classAugmentations; nil means the naive path.
+// classAugmentations; nil means the naive path. The enum scratch backs the
+// probe-guided pair enumeration of its class, and warm (Options.WarmStart)
+// carries the class's Hopcroft–Karp warm state across rounds — the class
+// list is fixed for a Solve run, so "the previous pair of this class" may
+// live in the previous round, where a near-converged matching means the old
+// solution seeds most of the new one. All of it is class-private state, so
+// the sweep's worker pool needs no locking and results stay invariant under
+// the worker count.
 type amortClassCtx struct {
 	view  *layered.IncView
 	cache *pairCache
+	enum  *layered.PairScratch
+	warm  *warmState
 }
 
 // pairCache shares pair solves across the classes of one round, keyed by
@@ -112,7 +130,6 @@ type warmState struct {
 	hk    *bipartite.Scratch
 	prev  []warmEdge
 	seeds []bipartite.Seed
-	lpSet map[uint64]int32
 }
 
 // warmEdge is one matched edge of the previous pair's solution, endpoint
@@ -123,38 +140,30 @@ type warmEdge struct {
 }
 
 func newWarmState(hk *bipartite.Scratch) *warmState {
-	return &warmState{hk: hk, lpSet: make(map[uint64]int32)}
+	return &warmState{hk: hk}
 }
 
 func (ws *warmState) resetClass() { ws.prev = ws.prev[:0] }
 
 // solve runs the seeded exact solver on the pair's bipartite view: the
 // previous pair's matching is restricted to the edges that survive in this
-// build (both endpoint copies present and the edge in L'), installed as
-// seeds, and the result recorded for the next pair.
-func (ws *warmState) solve(lay *layered.Layered, bip *bipartite.Bip) *graph.Matching {
+// build (both endpoint copies present), installed as endpoint seeds — the
+// solver resolves each against its adjacency and drops pairs whose edge did
+// not survive into L' — and the result recorded for the next pair. It
+// returns the phase count alongside the matching (Stats.SolverPhases).
+func (ws *warmState) solve(lay *layered.Layered, bip *bipartite.Bip) (*graph.Matching, int) {
 	seeds := ws.seeds[:0]
-	if len(ws.prev) > 0 {
-		clear(ws.lpSet)
-		for i, e := range bip.Edges {
-			ws.lpSet[layeredEdgeKey(e.U, e.V, bip.N)] = int32(i)
+	for _, pe := range ws.prev {
+		lu := lay.ID(int(pe.tu), int(pe.u))
+		lv := lay.ID(int(pe.tv), int(pe.v))
+		if lu < 0 || lv < 0 {
+			continue
 		}
-		for _, pe := range ws.prev {
-			lu := lay.ID(int(pe.tu), int(pe.u))
-			lv := lay.ID(int(pe.tv), int(pe.v))
-			if lu < 0 || lv < 0 {
-				continue
-			}
-			ei, ok := ws.lpSet[layeredEdgeKey(lu, lv, bip.N)]
-			if !ok {
-				continue
-			}
-			l, r := lu, lv
-			if bip.Side[l] {
-				l, r = r, l
-			}
-			seeds = append(seeds, bipartite.Seed{L: int32(l), R: int32(r), EdgeIndex: ei})
+		l, r := lu, lv
+		if bip.Side[l] {
+			l, r = r, l
 		}
+		seeds = append(seeds, bipartite.Seed{L: int32(l), R: int32(r), EdgeIndex: -1})
 	}
 	ws.seeds = seeds
 	res := bipartite.HopcroftKarpSeeded(bip, ws.hk, seeds)
@@ -165,12 +174,5 @@ func (ws *warmState) solve(lay *layered.Layered, bip *bipartite.Bip) *graph.Matc
 			tv: int32(lay.LayerOf(e.V)), v: int32(lay.Orig(e.V)),
 		})
 	}
-	return res.M
-}
-
-func layeredEdgeKey(u, v, n int) uint64 {
-	if u > v {
-		u, v = v, u
-	}
-	return uint64(u)*uint64(n) + uint64(v)
+	return res.M, res.Phases
 }

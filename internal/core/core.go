@@ -87,8 +87,8 @@ type Options struct {
 	// Amortize enables the cross-round amortised pipeline: the incremental
 	// viability index (window bucketing computed once per edge and
 	// maintained by matched/unmatched deltas instead of rebuilt per round
-	// and class), the shared per-class survival probe (doomed (τA, τB)
-	// pairs are rejected before their layered graph is built), and the
+	// and class), the probe-guided pair enumeration (doomed (τA, τB)
+	// subtrees are pruned during generation, see Stats.EnumPruned), and the
 	// per-round cross-class solve cache (classes whose windows coincide
 	// share one solve). The amortised path returns the bit-identical
 	// matching of the naive path for a fixed Rng seed; the differential
@@ -102,13 +102,18 @@ type Options struct {
 	// (τA, τB) pair's matching restricted to the surviving edges, within
 	// each class. Consecutive pairs of a class share most of their layered
 	// graph, so the warm solve pays only the phases that augment the
-	// difference. The result is still an exact maximum matching, but not
+	// difference; with Amortize the warm state lives on the per-class
+	// amortised context and additionally persists across rounds (without
+	// it, state resets at each class boundary of the sweep). Either way it
+	// never crosses classes, so results stay invariant under the worker
+	// count. The result is still an exact maximum matching, but not
 	// necessarily the same one a cold solve returns (the seed shifts which
 	// augmenting paths are found first), so warm runs are held to the
 	// cardinality and quality equivalences rather than bit-identity, and
 	// the cross-class cache is disabled while warm-starting (its key does
 	// not cover the seed history). Ignored when Solver or SolverFactory is
-	// installed — only the default exact solver is seedable.
+	// installed — only the default exact solver is seedable. Measured sign
+	// per workload tier in the ROADMAP ledger (E12/E13/E14).
 	WarmStart bool
 	// Trace, when non-nil, receives the matching weight after every round
 	// (convergence curves for the E12 experiment).
@@ -148,6 +153,11 @@ type Stats struct {
 	// SolverCalls counts Unw-Bip-Matching invocations (one per surviving
 	// (W, τ-pair) combination).
 	SolverCalls int
+	// SolverPhases accumulates the Hopcroft–Karp phase counts of those
+	// invocations — the unit of work a warm start saves. Tracked only for
+	// the default (scratch-backed or warm-started) exact solvers; installed
+	// Solver/SolverFactory closures leave it 0.
+	SolverPhases int
 	// LayeredBuilt counts layered graphs constructed (= SolverCalls plus
 	// those skipped for having no augmenting structure). Amortised runs
 	// count probe-rejected pairs here too, so the field is comparable
@@ -157,6 +167,12 @@ type Stats struct {
 	// rejected without constructing their layered graph (always 0 on the
 	// naive path).
 	ProbeSkips int
+	// EnumPruned counts the subset of ProbeSkips the probe-guided
+	// enumeration pruned during pair generation — dead pairs that were
+	// never materialised at all, only charged to the per-class pair limit
+	// by their closed-form subtree count (always 0 on the naive path and
+	// at discretisations past the probe's bit tables).
+	EnumPruned int
 	// CacheHits counts pair solves served by the per-round cross-class
 	// cache instead of the solver (always 0 on the naive path).
 	CacheHits int
@@ -226,6 +242,11 @@ type classWorker struct {
 	// vertices (advancing the stamp clears it in O(1) between classes).
 	used      []uint32
 	usedStamp uint32
+
+	// lastPhases is the phase count of the most recent default-solver call,
+	// recorded by the solver closure for Stats.SolverPhases (installed
+	// solvers leave it 0).
+	lastPhases int
 }
 
 func (w *classWorker) resetUsed(n int) {
@@ -279,7 +300,9 @@ func newClassWorker(opts Options) *classWorker {
 		// adjacency and search state.
 		hk := bipartite.NewScratch()
 		solver := Solver(func(b *bipartite.Bip) (*graph.Matching, error) {
-			return bipartite.HopcroftKarpScratch(b, hk).M, nil
+			res := bipartite.HopcroftKarpScratch(b, hk)
+			w.lastPhases = res.Phases
+			return res.M, nil
 		})
 		w.newSolver = func(*rand.Rand) Solver { return solver }
 		if opts.WarmStart {
@@ -415,8 +438,10 @@ func (r *Runner) Round(m *graph.Matching, stats *Stats) (graph.Weight, error) {
 	var all []graph.Augmentation
 	for i := range weights {
 		stats.SolverCalls += perStats[i].SolverCalls
+		stats.SolverPhases += perStats[i].SolverPhases
 		stats.LayeredBuilt += perStats[i].LayeredBuilt
 		stats.ProbeSkips += perStats[i].ProbeSkips
+		stats.EnumPruned += perStats[i].EnumPruned
 		stats.CacheHits += perStats[i].CacheHits
 		all = append(all, perClass[i]...)
 	}
@@ -451,6 +476,15 @@ func FindClassAugmentations(
 		rng = rand.New(rand.NewSource(opts.Rng.Int63()))
 	}
 	return classAugmentations(par, m, w, cw.newSolver(rng), cw, opts, stats, nil)
+}
+
+// oracleOf unwraps the class context's survival oracle: non-nil only on the
+// amortised path at discretisations the probe's bit tables cover.
+func oracleOf(ac *amortClassCtx) (layered.SurvivalOracle, bool) {
+	if ac == nil {
+		return nil, false
+	}
+	return ac.view.Oracle()
 }
 
 // classAugmentations is Algorithm 4 for one augmentation class W: over all
@@ -489,8 +523,23 @@ func classAugmentations(
 		ix = scratch.Index(par, w, opts.Layered)
 	}
 	var pairs []layered.TauPair
+	preFiltered := false
 	if aMask, bMask, ok := ix.Masks(); ok {
-		pairs = layered.EnumerateGoodPairsMasked(opts.Layered, aMask, bMask, opts.MaxPairsPerClass)
+		if orc, probeOK := oracleOf(ac); probeOK {
+			// Probe-guided enumeration: dead pairs are pruned inside the
+			// generation recursion instead of generated and then probed.
+			// The pruned count is exactly the set ProbeY would have
+			// rejected, so the naive/amortised stats still reconcile.
+			var pruned int
+			pairs, pruned = layered.EnumerateSurvivingPairs(
+				opts.Layered, aMask, bMask, opts.MaxPairsPerClass, orc, ac.enum)
+			stats.LayeredBuilt += pruned
+			stats.ProbeSkips += pruned
+			stats.EnumPruned += pruned
+			preFiltered = true
+		} else {
+			pairs = layered.EnumerateGoodPairsMasked(opts.Layered, aMask, bMask, opts.MaxPairsPerClass)
+		}
 	} else {
 		pairs = layered.EnumerateGoodPairsLimited(opts.Layered,
 			func(u int) bool { return u == 0 || ix.ACount(u) > 0 },
@@ -501,8 +550,13 @@ func classAugmentations(
 	if len(pairs) > opts.MaxPairsPerClass {
 		pairs = pairs[:opts.MaxPairsPerClass]
 	}
-	if cw.warm != nil {
-		cw.warm.resetClass()
+	// Warm state: the amortised context's (per class, carried across rounds)
+	// takes precedence over the worker's (reset at each class boundary).
+	warm := cw.warm
+	if ac != nil && ac.warm != nil {
+		warm = ac.warm
+	} else if warm != nil {
+		warm.resetClass()
 	}
 	var cands []candidate
 	var key []byte
@@ -510,7 +564,7 @@ func classAugmentations(
 	for _, tau := range pairs {
 		stats.LayeredBuilt++
 		if ac != nil {
-			if !ac.view.ProbeY(tau) {
+			if !preFiltered && !ac.view.ProbeY(tau) {
 				stats.ProbeSkips++
 				continue
 			}
@@ -534,14 +588,18 @@ func classAugmentations(
 		bip := &bipartite.Bip{N: lay.NumV, Side: lay.Sides(), Edges: lp}
 		stats.SolverCalls++
 		var mPrime *graph.Matching
-		if cw.warm != nil {
-			mPrime = cw.warm.solve(lay, bip)
+		if warm != nil {
+			var phases int
+			mPrime, phases = warm.solve(lay, bip)
+			stats.SolverPhases += phases
 		} else {
+			cw.lastPhases = 0
 			var err error
 			mPrime, err = solver(bip)
 			if err != nil {
 				return nil, err
 			}
+			stats.SolverPhases += cw.lastPhases
 		}
 		start := len(cands)
 		lay.AugmentingWalks(mPrime, func(walk layered.Walk) {

@@ -25,11 +25,14 @@ type Instance struct {
 	Opt *Matching
 }
 
-// RandomGraph returns a random simple graph on n vertices with (up to) m
-// distinct edges and integer weights uniform in [1, maxW]. OPT is unknown;
-// the instance reports OptExact=false with OptWeight 0.
-func RandomGraph(n, m int, maxW Weight, rng *rand.Rand) Instance {
+// randomSimple rejection-samples a random simple graph on n vertices with m
+// distinct edges (clamped to the complete graph), drawing each accepted
+// edge's weight from the callback — the shared body of the random families.
+func randomSimple(n, m int, rng *rand.Rand, weight func() Weight) *Graph {
 	g := New(n)
+	if max := n * (n - 1) / 2; m > max {
+		m = max
+	}
 	seen := make(map[Key]struct{}, m)
 	for len(g.edges) < m {
 		u := rng.Intn(n)
@@ -42,9 +45,18 @@ func RandomGraph(n, m int, maxW Weight, rng *rand.Rand) Instance {
 			continue
 		}
 		seen[k] = struct{}{}
-		g.edges = append(g.edges, Edge{U: u, V: v, W: 1 + Weight(rng.Int63n(int64(maxW)))})
+		g.edges = append(g.edges, Edge{U: u, V: v, W: weight()})
 	}
-	return Instance{G: g}
+	return g
+}
+
+// RandomGraph returns a random simple graph on n vertices with (up to) m
+// distinct edges and integer weights uniform in [1, maxW]. OPT is unknown;
+// the instance reports OptExact=false with OptWeight 0.
+func RandomGraph(n, m int, maxW Weight, rng *rand.Rand) Instance {
+	return Instance{G: randomSimple(n, m, rng, func() Weight {
+		return 1 + Weight(rng.Int63n(int64(maxW)))
+	})}
 }
 
 // RandomBipartite returns a random bipartite graph with nl left vertices
@@ -122,6 +134,38 @@ func PlantedMatching(n, noiseEdges int, heavyLow, heavyHigh Weight, rng *rand.Ra
 		added++
 	}
 	return Instance{G: g, OptWeight: optW, OptExact: true, Opt: opt}
+}
+
+// BandedWeights returns a random simple graph whose weights are uniform in
+// the single octave [low, 2·low) (high is clamped to 2·low−1). Every weight
+// then falls within a factor two of every other, so the augmentation classes
+// whose windows cover the band see many populated τ units at once: the good-
+// pair enumeration yields its largest viable sets and every pair's layered
+// graph draws from large buckets. This is the solver-bound E13 family —
+// sized up, Hopcroft–Karp dominates round time instead of the bucketing.
+// OPT is unknown (OptExact=false).
+func BandedWeights(n, m int, low Weight, rng *rand.Rand) Instance {
+	if low < 1 {
+		low = 1
+	}
+	span := int64(low) // weights in [low, low+span) = [low, 2*low)
+	return Instance{G: randomSimple(n, m, rng, func() Weight {
+		return low + Weight(rng.Int63n(span))
+	})}
+}
+
+// UniformWeights returns a random simple graph with every edge of weight w:
+// weighted matching degenerates to maximum cardinality, each augmentation
+// class collapses to a handful of good pairs, and every one of those pairs'
+// layered graphs spans the full crossing subgraph — the whole round is one
+// heavy class handed to the unweighted solver. This is the E14 family; with
+// warm starts the consecutive pairs of a class share almost their entire
+// layered graph. OPT is unknown (OptExact=false).
+func UniformWeights(n, m int, w Weight, rng *rand.Rand) Instance {
+	if w < 1 {
+		w = 1
+	}
+	return Instance{G: randomSimple(n, m, rng, func() Weight { return w })}
 }
 
 // AugmentingChain builds the classic hard instance for greedy matching: a

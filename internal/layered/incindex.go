@@ -75,13 +75,17 @@ type IncIndex struct {
 	aMask []uint64
 	bMask []uint64
 
-	// Lazily materialised buckets and their content digests.
-	aStamp [][]uint32
-	bStamp [][]uint32
-	aBuf   [][][]graph.Edge
-	bBuf   [][][]graph.Edge
-	aDig   [][]uint64
-	bDig   [][]uint64
+	// Lazily materialised buckets and their content digests; the digests
+	// have their own stamps because they are computed only when a PairKey
+	// first reads them (cache-disabled runs never pay the digesting).
+	aStamp  [][]uint32
+	bStamp  [][]uint32
+	aBuf    [][][]graph.Edge
+	bBuf    [][][]graph.Edge
+	adStamp [][]uint32
+	bdStamp [][]uint32
+	aDig    [][]uint64
+	bDig    [][]uint64
 
 	// Per-class probe state: the τA unit of every matched crossing vertex
 	// (a vertex has at most one matched edge, hence at most one unit).
@@ -177,6 +181,8 @@ func NewIncIndex(n int, edges []graph.Edge, ws []float64, prm Params) *IncIndex 
 	x.bStamp = make([][]uint32, len(ws))
 	x.aBuf = make([][][]graph.Edge, len(ws))
 	x.bBuf = make([][][]graph.Edge, len(ws))
+	x.adStamp = make([][]uint32, len(ws))
+	x.bdStamp = make([][]uint32, len(ws))
 	x.aDig = make([][]uint64, len(ws))
 	x.bDig = make([][]uint64, len(ws))
 	x.probeStamp = make([]uint32, len(ws))
@@ -191,6 +197,8 @@ func NewIncIndex(n int, edges []graph.Edge, ws []float64, prm Params) *IncIndex 
 		x.bStamp[c] = make([]uint32, maxU+1)
 		x.aBuf[c] = make([][]graph.Edge, maxU+1)
 		x.bBuf[c] = make([][]graph.Edge, maxU+1)
+		x.adStamp[c] = make([]uint32, maxU+1)
+		x.bdStamp[c] = make([]uint32, maxU+1)
 		x.aDig[c] = make([]uint64, maxU+1)
 		x.bDig[c] = make([]uint64, maxU+1)
 		x.vStamp[c] = make([]uint32, n)
@@ -241,6 +249,8 @@ func (x *IncIndex) BeginRound(par *Parametrized) {
 		for c := range x.ws {
 			clear(x.aStamp[c])
 			clear(x.bStamp[c])
+			clear(x.adStamp[c])
+			clear(x.bdStamp[c])
 			clear(x.vStamp[c])
 			clear(x.prStamp[c])
 		}
@@ -353,7 +363,6 @@ func (x *IncIndex) aLive(c, u int) []graph.Edge {
 	if x.aStamp[c][u] != x.stamp {
 		x.aStamp[c][u] = x.stamp
 		buf := x.aBuf[c][u][:0]
-		h := uint64(fnvOffset)
 		for mi := range x.matched {
 			me := &x.matched[mi]
 			if c >= len(me.units) || int(me.units[c]) != u {
@@ -363,12 +372,25 @@ func (x *IncIndex) aLive(c, u int) []graph.Edge {
 				continue
 			}
 			buf = append(buf, me.e)
-			h = digestEdge(h, me.e)
 		}
 		x.aBuf[c][u] = buf
-		x.aDig[c][u] = h
 	}
 	return x.aBuf[c][u]
+}
+
+// aDigest returns the content digest of the unit-u τA bucket, digesting the
+// materialised bucket on first use this round (only cache-keyed runs reach
+// here, so cache-disabled runs never pay the hashing).
+func (x *IncIndex) aDigest(c, u int) uint64 {
+	if x.adStamp[c][u] != x.stamp {
+		x.adStamp[c][u] = x.stamp
+		h := uint64(fnvOffset)
+		for _, e := range x.aLive(c, u) {
+			h = digestEdge(h, e)
+		}
+		x.aDig[c][u] = h
+	}
+	return x.aDig[c][u]
 }
 
 // B returns the unmatched crossing edges of the unit-u τB window, in par.B
@@ -384,19 +406,29 @@ func (x *IncIndex) bLive(c, u int) []graph.Edge {
 	if x.bStamp[c][u] != x.stamp {
 		x.bStamp[c][u] = x.stamp
 		buf := x.bBuf[c][u][:0]
-		h := uint64(fnvOffset)
 		for _, ei := range x.bAll[c][u] {
 			e := x.edges[ei]
 			if x.par.Side[e.U] == x.par.Side[e.V] || x.par.M.Has(e.U, e.V) {
 				continue
 			}
 			buf = append(buf, e)
-			h = digestEdge(h, e)
 		}
 		x.bBuf[c][u] = buf
-		x.bDig[c][u] = h
 	}
 	return x.bBuf[c][u]
+}
+
+// bDigest is aDigest for the unit-u τB bucket.
+func (x *IncIndex) bDigest(c, u int) uint64 {
+	if x.bdStamp[c][u] != x.stamp {
+		x.bdStamp[c][u] = x.stamp
+		h := uint64(fnvOffset)
+		for _, e := range x.bLive(c, u) {
+			h = digestEdge(h, e)
+		}
+		x.bDig[c][u] = h
+	}
+	return x.bDig[c][u]
 }
 
 // ACount returns the exact crossing-filtered count of the unit-u τA window.
@@ -534,6 +566,25 @@ func (v *IncView) ProbeY(tau TauPair) bool {
 	return false
 }
 
+// LayerRow returns the probe row of the unit-b unmatched window at matched-
+// unit row a (SurvivalOracle interface): the same per-(class, unit) crossing
+// tables ProbeY consults, exposed so the pair enumeration can prune dead
+// subtrees during generation. Callers must gate on Oracle (the rows exist
+// only while maxU < FreeLBit).
+func (v *IncView) LayerRow(bUnit, aUnit int) uint64 {
+	return v.ix.probeRows(v.c, bUnit)[aUnit]
+}
+
+// Oracle returns the view as a SurvivalOracle for probe-guided enumeration,
+// or ok = false at discretisations too fine for the bit tables (maxU ≥ 63,
+// where ProbeY likewise degrades to keeping every pair).
+func (v *IncView) Oracle() (SurvivalOracle, bool) {
+	if v.ix.maxU >= freeLBit {
+		return nil, false
+	}
+	return v, true
+}
+
 // PairKey appends a cache key identifying the pair's layered graph up to
 // bucket contents: the τ units plus the content digests of every window the
 // build would read. Two (class, pair) combinations with equal keys build
@@ -547,14 +598,12 @@ func (v *IncView) PairKey(tau TauPair, key []byte) []byte {
 	for _, u := range tau.AUnits {
 		key = append(key, byte(u))
 		if u > 0 {
-			v.A(u) // materialise for the digest
-			key = appendDigest(key, x.aDig[c][u])
+			key = appendDigest(key, x.aDigest(c, u))
 		}
 	}
 	for _, u := range tau.BUnits {
 		key = append(key, byte(u))
-		v.B(u)
-		key = appendDigest(key, x.bDig[c][u])
+		key = appendDigest(key, x.bDigest(c, u))
 	}
 	return key
 }

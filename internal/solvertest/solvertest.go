@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/layered"
 )
 
 // Workload names one differential instance: a graph and an optional
@@ -26,7 +27,7 @@ type Workload struct {
 }
 
 // Workloads returns one instance per generator family used across the
-// E1–E12 experiments, at differential-test scale (a few rounds of each
+// E1–E14 experiments, at differential-test scale (a few rounds of each
 // must stay well under a second). The rng drives every family, so a fixed
 // seed reproduces the exact instances.
 func Workloads(rng *rand.Rand) []Workload {
@@ -37,6 +38,8 @@ func Workloads(rng *rand.Rand) []Workload {
 	cycle := graph.WeightedCycle(3, 24, 32)
 	three, threeM := graph.ThreeAugWorkload(20, 0.5, 60, rng)
 	geo := graph.GeometricWeights(40, 160, 2, 8, rng)
+	banded := graph.BandedWeights(40, 200, 100, rng)
+	uniform := graph.UniformWeights(36, 150, 64, rng)
 
 	// Start the cycle workload from its perfect-but-suboptimal matching so
 	// the augmenting-cycle machinery (the Section 1.1.2 blow-up) is on the
@@ -57,6 +60,8 @@ func Workloads(rng *rand.Rand) []Workload {
 		{Name: "cycle", G: cycle.G, Initial: cycleM},
 		{Name: "threeaug", G: three.G, Initial: threeM},
 		{Name: "geometric", G: geo.G},
+		{Name: "banded", G: banded.G},
+		{Name: "uniform", G: uniform.G},
 	}
 }
 
@@ -101,6 +106,24 @@ func AssertBitIdentical(t *testing.T, w Workload, optsA, optsB core.Options, see
 		}
 	}
 	return sA, sB
+}
+
+// NaiveSurvivingPairs is the generate-then-probe differential twin of
+// layered.EnumerateSurvivingPairs: the memoised masked enumeration followed
+// by a per-pair ProbeY filter — exactly the pair pipeline the amortised path
+// ran before pruning moved into the generation recursion. It returns the
+// surviving pairs and the count of window pairs the probe rejected; the
+// pruned enumeration must reproduce both, pair-for-pair and in order, on
+// every workload family.
+func NaiveSurvivingPairs(prm layered.Params, aMask, bMask uint64, limit int, view *layered.IncView) (pairs []layered.TauPair, rejected int) {
+	for _, tau := range layered.EnumerateGoodPairsMasked(prm, aMask, bMask, limit) {
+		if view.ProbeY(tau) {
+			pairs = append(pairs, tau)
+		} else {
+			rejected++
+		}
+	}
+	return pairs, rejected
 }
 
 // equalMatchings reports the first difference between two matchings,

@@ -126,6 +126,76 @@ func TestWarmStartQuality(t *testing.T) {
 	}
 }
 
+// TestPrunedEnumerationMatchesProbe is the enumeration-level differential
+// over every E1–E14 generator family: on matchings evolved by real reduction
+// rounds, the probe-guided enumeration must return, class by class, exactly
+// the pairs of the naive generate-then-probe twin (NaiveSurvivingPairs) —
+// same pairs, same order, reconciling rejected counts — at several limits
+// including the unlimited window.
+func TestPrunedEnumerationMatchesProbe(t *testing.T) {
+	prm := layered.Params{}.WithDefaults()
+	for _, w := range Workloads(rand.New(rand.NewSource(21))) {
+		weights := core.ClassWeights(w.G, 2, prm)
+		if len(weights) == 0 {
+			continue
+		}
+		inc := layered.NewIncIndex(w.G.N(), w.G.Edges(), weights, prm)
+		m := w.cloneInitial()
+		runner := core.NewRunner(w.G, optsWithRng(core.Options{}, 22))
+		parRng := rand.New(rand.NewSource(23))
+		var stats core.Stats
+		for round := 0; round < 3; round++ {
+			if _, err := runner.Round(m, &stats); err != nil {
+				t.Fatalf("%s round %d: %v", w.Name, round, err)
+			}
+			par := layered.Parametrize(w.G.N(), w.G.Edges(), m, parRng)
+			inc.BeginRound(par)
+			for c := 0; c < inc.Classes(); c++ {
+				view := inc.View(c)
+				orc, ok := view.Oracle()
+				if !ok {
+					t.Fatalf("%s: oracle unavailable at default granularity", w.Name)
+				}
+				aMask, bMask, ok := view.Masks()
+				if !ok {
+					t.Fatalf("%s: masks unavailable at default granularity", w.Name)
+				}
+				for _, limit := range []int{0, 1, 13, 800} {
+					naive, rejected := NaiveSurvivingPairs(prm, aMask, bMask, limit, view)
+					pruned, prunedCount := layered.EnumerateSurvivingPairs(prm, aMask, bMask, limit, orc, nil)
+					if len(pruned) != len(naive) || prunedCount != rejected {
+						t.Fatalf("%s class %d limit %d: %d pairs (%d pruned) vs naive %d (%d rejected)",
+							w.Name, c, limit, len(pruned), prunedCount, len(naive), rejected)
+					}
+					for i := range pruned {
+						if !equalTauPairs(pruned[i], naive[i]) {
+							t.Fatalf("%s class %d limit %d pair %d: %+v vs %+v",
+								w.Name, c, limit, i, pruned[i], naive[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func equalTauPairs(a, b layered.TauPair) bool {
+	if len(a.AUnits) != len(b.AUnits) || len(a.BUnits) != len(b.BUnits) {
+		return false
+	}
+	for i := range a.AUnits {
+		if a.AUnits[i] != b.AUnits[i] {
+			return false
+		}
+	}
+	for i := range a.BUnits {
+		if a.BUnits[i] != b.BUnits[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // TestAmortizeFineGranularityFallback pins the fallback past the
 // incremental index's compact unit storage: at granularity 1/300 the
 // amortised configuration must silently use the naive path (no amortised

@@ -166,6 +166,16 @@ type ApproxOptions struct {
 	Delta float64
 	// MaxRounds and Patience bound the improvement loop.
 	MaxRounds, Patience int
+	// Amortize routes the run through the cross-round amortised pipeline
+	// (incremental viability index, probe-guided pair enumeration,
+	// cross-class solve cache) — bit-identical results, see
+	// core.Options.Amortize.
+	Amortize bool
+	// WarmStart seeds Hopcroft–Karp from the previous pair's matching
+	// (exact but tie-breaks may differ; see core.Options.WarmStart).
+	WarmStart bool
+	// Workers bounds the per-class worker pool (see core.Options.Workers).
+	Workers int
 }
 
 func (o ApproxOptions) coreOptions() core.Options {
@@ -177,6 +187,9 @@ func (o ApproxOptions) coreOptions() core.Options {
 		Rng:       rand.New(rand.NewSource(o.Seed)),
 		MaxRounds: o.MaxRounds,
 		Patience:  o.Patience,
+		Amortize:  o.Amortize,
+		WarmStart: o.WarmStart,
+		Workers:   o.Workers,
 	}
 }
 
