@@ -181,6 +181,90 @@ func BenchmarkLayeredBuild(b *testing.B) {
 	}
 }
 
+// setupBuildDeltaBench prepares the surviving-pair chain the BuildDelta
+// benchmarks iterate: an incremental-index round over the
+// BenchmarkLayeredBuild instance with a mid-convergence matching, and the
+// class with the most surviving pairs.
+func setupBuildDeltaBench(b *testing.B) (*layered.IncView, []layered.TauPair, *layered.Scratch) {
+	rng := rand.New(rand.NewSource(2))
+	inst := graph.PlantedMatching(200, 1000, 100, 200, rng)
+	prm := layered.Params{}.WithDefaults()
+	weights := core.ClassWeights(inst.G, 2, prm)
+	inc := layered.NewIncIndex(inst.G.N(), inst.G.Edges(), weights, prm)
+	// Evolve a mid-convergence matching (a converged one has no surviving
+	// pairs to build); two naive rounds leave plenty of live windows.
+	m := graph.NewMatching(inst.G.N())
+	runner := core.NewRunner(inst.G, core.Options{Rng: rand.New(rand.NewSource(9))})
+	var st core.Stats
+	for r := 0; r < 2; r++ {
+		if _, err := runner.Round(m, &st); err != nil {
+			b.Fatal(err)
+		}
+	}
+	par := layered.Parametrize(inst.G.N(), inst.G.Edges(), m, rng)
+	inc.BeginRound(par)
+	// Chain over the class with the most surviving pairs — the regime the
+	// delta builder exists for.
+	var view *layered.IncView
+	var pairs []layered.TauPair
+	enum := layered.NewPairScratch()
+	for c := range weights {
+		v := inc.View(c)
+		aMask, bMask, ok := v.Masks()
+		if !ok {
+			b.Fatal("masks unavailable")
+		}
+		orc, ok := v.Oracle()
+		if !ok {
+			b.Fatal("oracle unavailable")
+		}
+		ps, _ := layered.EnumerateSurvivingPairs(prm, aMask, bMask, 800, orc, enum)
+		if len(ps) > len(pairs) {
+			view = v
+			pairs = append(pairs[:0:0], ps...)
+		}
+	}
+	if len(pairs) < 2 {
+		b.Fatalf("only %d surviving pairs", len(pairs))
+	}
+	return view, pairs, layered.NewScratch()
+}
+
+// BenchmarkBuildDelta measures the differential layered-graph builder as
+// the amortised reduction drives it: every build patches the previous
+// pair's arena state (grouped Y lookup + X-prefix reuse).
+// BenchmarkBuildDeltaBaseline runs the identical pair chain from scratch;
+// the ratio is the per-build saving, and the allocs/op guard holds the
+// delta path to the arena discipline (no per-build allocation beyond the
+// Layered header).
+func BenchmarkBuildDelta(b *testing.B) {
+	view, pairs, scratch := setupBuildDeltaBench(b)
+	scratch.EnableDeltaBaseline()
+	prev := layered.BuildIndexed(view, pairs[0], scratch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lay, _, err := layered.BuildDelta(view, prev, pairs[(i+1)%len(pairs)], scratch, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prev = lay
+	}
+}
+
+// BenchmarkBuildDeltaBaseline is BenchmarkBuildDelta with every pair of the
+// same chain rebuilt from scratch by BuildIndexed on an unmarked arena
+// (no watermark recording, like the real delta-disabled pipeline) — the
+// honest denominator for the delta speedup.
+func BenchmarkBuildDeltaBaseline(b *testing.B) {
+	view, pairs, scratch := setupBuildDeltaBench(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layered.BuildIndexed(view, pairs[(i+1)%len(pairs)], scratch)
+	}
+}
+
 func BenchmarkHopcroftKarpOracle(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	inst := graph.RandomBipartite(500, 500, 5000, 10, rng)

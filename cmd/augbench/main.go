@@ -5,7 +5,7 @@
 //
 //	augbench [-experiment E1,E4] [-seed 1] [-trials 5] [-quick] [-amortize] [-json FILE]
 //
-// With no -experiment flag every experiment (E1..E12) runs. With -json the
+// With no -experiment flag every experiment (E1..E15) runs. With -json the
 // tables are additionally written to FILE as machine-readable JSON (the
 // BENCH_*.json format the perf ledger tracks across PRs). -amortize routes
 // the reduction-driven experiments through the cross-round amortised

@@ -88,6 +88,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "pairs=%d enum-pruned=%d probe-skips=%d cache-hits=%d hk-phases=%d\n",
 				res.Stats.LayeredBuilt, res.Stats.EnumPruned, res.Stats.ProbeSkips,
 				res.Stats.CacheHits, res.Stats.SolverPhases)
+			fmt.Fprintf(stdout, "delta-builds=%d delta-layers-reused=%d classes-skipped-dirty=%d\n",
+				res.Stats.DeltaBuilds, res.Stats.DeltaLayersReused, res.Stats.ClassesSkippedDirty)
 		}
 	case "streaming":
 		res, err := repro.ApproxWeightedStreaming(g, nil, repro.ApproxOptions{Seed: *seed, Granularity: *granularity})

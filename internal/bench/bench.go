@@ -104,6 +104,7 @@ func Registry() map[string]Runner {
 		"E12": E12Convergence,
 		"E13": E13SolverBound,
 		"E14": E14UniformClass,
+		"E15": E15DeltaBuild,
 	}
 }
 

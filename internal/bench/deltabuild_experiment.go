@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// E15DeltaBuild measures the differential layered-graph builder and the
+// round-scoped dirty-class gate on the build-bound tier: the E13 band shape
+// (one weight octave at 8n density), where surviving BuildIndexed calls
+// dominate the amortised round (~57% per the ROADMAP ledger), plus the E12
+// convergence shape where they are ~24%. Each instance runs the amortised
+// pipeline twice with identical seeds — delta chaining on (every surviving
+// pair after a class-round's first patches the previous build) and off
+// (DeltaCutover = −1, every pair from scratch) — so the ratio isolates the
+// builder; outputs are bit-identical by construction (differential suite).
+// The counters keep the verdict honest: DeltaBuilds/DeltaLayersReused show
+// how much structure was actually shared, ClassesSkippedDirty how many
+// class sweeps the dirty gate removed outright.
+func E15DeltaBuild(cfg Config) []Table {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nBand, nPlant, rounds := 240, 120, 3
+	if cfg.Quick {
+		nBand, nPlant, rounds = 60, 40, 2
+	}
+	instances := []struct {
+		label string
+		g     *graph.Graph
+		opts  core.Options
+	}{
+		{
+			label: "E13 band (build-bound)",
+			g:     graph.BandedWeights(nBand, 8*nBand, 100, rng).G,
+			opts:  core.Options{Amortize: true, MaxPairsPerClass: 2000},
+		},
+		{
+			label: "E12 planted (bucket-bound)",
+			g:     graph.PlantedMatching(nPlant, 5*nPlant, 100, 200, rng).G,
+			opts:  core.Options{Amortize: true},
+		},
+	}
+
+	t := Table{
+		ID:    "E15",
+		Title: "differential layered-graph builder (BuildDelta) + dirty-class gate",
+		Claim: "delta-chained builds are bit-identical and cheaper where builds dominate",
+		Header: []string{"workload", "config", "ms/round", "pairs", "delta builds",
+			"layers reused", "classes skipped", "solver calls", "final weight"},
+	}
+	for _, inst := range instances {
+		seed := cfg.Seed + int64(rng.Intn(1<<20)) // shared: both configs draw identical rounds
+		for _, c := range []struct {
+			label   string
+			cutover int
+		}{{"delta", 0}, {"scratch", -1}} {
+			opts := inst.opts
+			opts.DeltaCutover = c.cutover
+			r, err := runSolverBound(inst.g, opts, c.label, seed, rounds)
+			if err != nil {
+				continue
+			}
+			perRound := 0.0
+			if r.stats.Rounds > 0 {
+				perRound = float64(r.elapsed.Microseconds()) / 1000 / float64(r.stats.Rounds)
+			}
+			t.Rows = append(t.Rows, []string{
+				inst.label,
+				c.label,
+				fmt.Sprintf("%.2f", perRound),
+				fi(r.stats.LayeredBuilt),
+				fi(r.stats.DeltaBuilds),
+				fi(r.stats.DeltaLayersReused),
+				fi(r.stats.ClassesSkippedDirty),
+				fi(r.stats.SolverCalls),
+				fi64(int64(r.weight)),
+			})
+		}
+	}
+	return []Table{t}
+}

@@ -98,6 +98,19 @@ type Options struct {
 	// index's compact unit storage and silently fall back to the naive
 	// path (layered.CanIndexIncrementally).
 	Amortize bool
+	// DeltaCutover tunes the differential layered-graph builder the
+	// amortised path chains within each class-round: consecutive surviving
+	// (τA, τB) pairs share most of their layers, so every pair after the
+	// first is built by layered.BuildDelta — patching only the layers whose
+	// windows changed against the previous pair's build — whenever at least
+	// DeltaCutover layer segments are reusable (see Stats.DeltaBuilds /
+	// DeltaLayersReused). 0 uses the default gate (chain always; the
+	// grouped Y-stage lookup pays off even with nothing to reuse), negative
+	// disables delta chaining entirely (every pair rebuilds from scratch) —
+	// the measurement baseline of the E15 experiment. The delta builds are
+	// bit-identical to from-scratch builds by construction, asserted by
+	// TestBuildDeltaMatchesBuildIndexed and FuzzBuildDelta.
+	DeltaCutover int
 	// WarmStart seeds the exact Hopcroft–Karp solver with the previous
 	// (τA, τB) pair's matching restricted to the surviving edges, within
 	// each class. Consecutive pairs of a class share most of their layered
@@ -176,6 +189,19 @@ type Stats struct {
 	// CacheHits counts pair solves served by the per-round cross-class
 	// cache instead of the solver (always 0 on the naive path).
 	CacheHits int
+	// DeltaBuilds counts layered graphs assembled by the differential
+	// builder (layered.BuildDelta) from the previous pair's build instead
+	// of from scratch (always 0 on the naive path).
+	DeltaBuilds int
+	// DeltaLayersReused accumulates the layer segments (X layers plus kept
+	// Y gaps) the differential builder carried over unchanged across all
+	// DeltaBuilds.
+	DeltaLayersReused int
+	// ClassesSkippedDirty counts (round, class) combinations the
+	// round-scoped dirty gate skipped outright: classes whose τ windows
+	// contained no crossing edge, which provably enumerate zero surviving
+	// pairs (always 0 on the naive path).
+	ClassesSkippedDirty int
 	// AppliedAugmentations counts augmentations applied to the matching.
 	AppliedAugmentations int
 	// Gain is the total weight gained over the initial matching.
@@ -408,9 +434,25 @@ func (r *Runner) Round(m *graph.Matching, stats *Stats) (graph.Weight, error) {
 		perClass[i], perErr[i] = classAugmentations(
 			par, m, weights[i], w.newSolver(rng), w, opts, &perStats[i], ac)
 	}
+	// Round-scoped dirty gate: a class whose τ windows contain no crossing
+	// edge this round enumerates zero surviving pairs (the windows hold no
+	// τB candidate at all), so its whole per-class sweep — enumeration,
+	// builds, solves — is skipped without changing the merged result. The
+	// dirty-gate property tests cross-check the skipped set against naive
+	// BucketIndex rebuilds every round.
+	skipClean := func(i int) bool {
+		if r.am == nil || r.am.inc.RoundDirty(i) {
+			return false
+		}
+		stats.ClassesSkippedDirty++
+		return true
+	}
 	if workers <= 1 {
 		w := newClassWorker(opts)
 		for i := range weights {
+			if skipClean(i) {
+				continue
+			}
 			runClass(w, i)
 		}
 	} else {
@@ -427,6 +469,9 @@ func (r *Runner) Round(m *graph.Matching, stats *Stats) (graph.Weight, error) {
 			}()
 		}
 		for i := range weights {
+			if skipClean(i) {
+				continue
+			}
 			classes <- i
 		}
 		close(classes)
@@ -443,6 +488,8 @@ func (r *Runner) Round(m *graph.Matching, stats *Stats) (graph.Weight, error) {
 		stats.ProbeSkips += perStats[i].ProbeSkips
 		stats.EnumPruned += perStats[i].EnumPruned
 		stats.CacheHits += perStats[i].CacheHits
+		stats.DeltaBuilds += perStats[i].DeltaBuilds
+		stats.DeltaLayersReused += perStats[i].DeltaLayersReused
 		all = append(all, perClass[i]...)
 	}
 	for i := range weights {
@@ -519,6 +566,11 @@ func classAugmentations(
 	var ix layered.Index
 	if ac != nil {
 		ix = ac.view
+		if opts.DeltaCutover >= 0 {
+			// The sweep delta-chains this class's builds, so the first
+			// pair's from-scratch build must record the diff watermarks.
+			scratch.EnableDeltaBaseline()
+		}
 	} else {
 		ix = scratch.Index(par, w, opts.Layered)
 	}
@@ -561,6 +613,12 @@ func classAugmentations(
 	var cands []candidate
 	var key []byte
 
+	// prevLay chains the class-round's builds through the differential
+	// builder: every surviving pair after the first patches the previous
+	// pair's build (bit-identical to a from-scratch build by construction).
+	// Pairs served by the cache never build, so prevLay stays the arena's
+	// latest build across hits.
+	var prevLay *layered.Layered
 	for _, tau := range pairs {
 		stats.LayeredBuilt++
 		if ac != nil {
@@ -577,7 +635,22 @@ func classAugmentations(
 				}
 			}
 		}
-		lay := layered.BuildIndexed(ix, tau, scratch)
+		var lay *layered.Layered
+		if ac != nil && prevLay != nil && opts.DeltaCutover >= 0 {
+			cut := opts.DeltaCutover
+			if cut == 0 {
+				cut = 1
+			}
+			if dl, reusedSegs, derr := layered.BuildDelta(ix, prevLay, tau, scratch, cut); derr == nil {
+				lay = dl
+				stats.DeltaBuilds++
+				stats.DeltaLayersReused += reusedSegs
+			}
+		}
+		if lay == nil {
+			lay = layered.BuildIndexed(ix, tau, scratch)
+		}
+		prevLay = lay
 		if len(lay.Y) == 0 {
 			continue
 		}

@@ -76,16 +76,51 @@ func (l *Layered) Has(t, v int) bool { return l.ID(t, v) >= 0 }
 // Scratch is a reusable arena for Build: the stamped dense lookup tables and
 // the edge/vertex slices that would otherwise be reallocated per (τA, τB)
 // pair. A Layered built with a Scratch aliases the arena's storage and is
-// valid only until the next Build on the same Scratch; build with a nil
-// scratch (or call Detach) for a Layered that must outlive the arena.
+// valid only until the next build (BuildIndexed or BuildDelta) on the same
+// Scratch; build with a nil scratch (or call Detach) for a Layered that must
+// outlive the arena. In particular, a Layered retained across builds is NOT
+// a valid BuildDelta baseline — BuildDelta verifies the baseline is the
+// arena's latest build and returns ErrDeltaStale instead of silently
+// reading overwritten storage.
 // A Scratch is not safe for concurrent use; use one per worker.
 type Scratch struct {
-	// stamp versions the dense arrays so they need no per-build clearing.
+	// stamp versions the dense id tables so they need no per-build clearing.
+	// BuildIndexed advances it every call; BuildDelta keeps it (reused
+	// prefix entries must stay valid) and relies on array-validity checks
+	// for staleness instead.
 	stamp   uint32
 	hasX    []uint32 // dense (t·n+v): stamped when the copy has an X edge
 	idMark  []uint32 // dense: stamped when a compact id is assigned
 	idAt    []int32  // dense: the compact id, valid when idMark is stamped
 	badMark []uint32 // dense: stamped when the copy is known removed
+	// badStamp versions badMark separately from the id tables: the survival
+	// memo is invalidated every build (τ boundary rules change per pair)
+	// while the id tables survive delta chains.
+	badStamp uint32
+
+	// last is the Layered the latest build on this arena returned — the
+	// only valid BuildDelta baseline (the staleness check: any earlier
+	// build's storage has been overwritten).
+	last *Layered
+
+	// Watermarks of the latest build, recorded so BuildDelta can truncate
+	// the arena back to the segments shared with the previous pair:
+	// layerIDEnd[t] / layerXEnd[t] / layerIXEnd[t] are the id / X-edge /
+	// interior-X counts after X layers 0..t-1, gapYEnd[t] / gapIDEnd[t] the
+	// Y-edge / id counts after Y gaps 0..t-1 (gapIDEnd[0] = lastXIDs, the
+	// id count when the X stage finished). Recording is opt-in
+	// (EnableDeltaBaseline): the naive build pays none of the bookkeeping;
+	// marksValid tracks whether the watermarks describe the latest build,
+	// and a BuildDelta whose baseline lacks them rebuilds in full (reusing
+	// nothing) before chaining normally.
+	recMarks   bool
+	marksValid bool
+	layerIDEnd []int32
+	layerXEnd  []int32
+	layerIXEnd []int32
+	gapYEnd    []int32
+	gapIDEnd   []int32
+	lastXIDs   int
 
 	vertOrig  []int32
 	vertLayer []int32
@@ -116,6 +151,12 @@ type Scratch struct {
 // NewScratch returns an empty arena.
 func NewScratch() *Scratch { return &Scratch{} }
 
+// EnableDeltaBaseline makes subsequent BuildIndexed calls on this arena
+// record the per-layer watermarks BuildDelta diffs against (BuildDelta
+// itself always records them). Off by default so the naive build path pays
+// no bookkeeping; the amortised class sweep enables it on its worker arenas.
+func (s *Scratch) EnableDeltaBaseline() { s.recMarks = true }
+
 // Index re-buckets the arena's bucket index for (par, w) and returns it.
 func (s *Scratch) Index(par *Parametrized, w float64, prm Params) *BucketIndex {
 	s.index.Reset(par, w, prm)
@@ -130,14 +171,48 @@ func (s *Scratch) next(sz int) {
 		s.badMark = make([]uint32, sz)
 		s.idAt = make([]int32, sz)
 		s.stamp = 0
+		s.badStamp = 0
 	}
 	s.stamp++
 	if s.stamp == 0 { // wrapped: old stamps could collide, clear everything
 		clear(s.hasX)
 		clear(s.idMark)
-		clear(s.badMark)
 		s.stamp = 1
 	}
+	s.nextBad()
+}
+
+// nextBad advances the survival-memo stamp (every build, delta or not).
+func (s *Scratch) nextBad() {
+	s.badStamp++
+	if s.badStamp == 0 {
+		clear(s.badMark)
+		s.badStamp = 1
+	}
+}
+
+// growDense widens the dense tables to sz entries preserving their contents,
+// so a delta build with more layers than its baseline keeps the reused
+// prefix's id entries valid.
+func (s *Scratch) growDense(sz int) {
+	if len(s.hasX) >= sz {
+		return
+	}
+	s.hasX = append(make([]uint32, 0, sz), s.hasX...)[:sz:sz]
+	s.idMark = append(make([]uint32, 0, sz), s.idMark...)[:sz:sz]
+	s.badMark = append(make([]uint32, 0, sz), s.badMark...)[:sz:sz]
+	s.idAt = append(make([]int32, 0, sz), s.idAt...)[:sz:sz]
+}
+
+// ensureLen32 returns buf resized to n entries, preserving the prefix across
+// reallocation (entries beyond the previous length are stale until written).
+func ensureLen32(buf []int32, n int) []int32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	nb := make([]int32, n, n+4)
+	copy(nb, buf)
+	return nb
 }
 
 // Build constructs the layered graph for one good pair and weight W
@@ -166,8 +241,19 @@ func BuildIndexed(ix Index, tau TauPair, s *Scratch) *Layered {
 	s.vertOrig = s.vertOrig[:0]
 	s.vertLayer = s.vertLayer[:0]
 	s.x, s.y, s.ix = s.x[:0], s.y[:0], s.ix[:0]
+	if s.recMarks {
+		s.layerIDEnd = ensureLen32(s.layerIDEnd, k+2)
+		s.layerXEnd = ensureLen32(s.layerXEnd, k+2)
+		s.layerIXEnd = ensureLen32(s.layerIXEnd, k+2)
+		s.gapYEnd = ensureLen32(s.gapYEnd, k+1)
+		s.gapIDEnd = ensureLen32(s.gapIDEnd, k+1)
+		s.layerIDEnd[0], s.layerXEnd[0], s.layerIXEnd[0] = 0, 0, 0
+	} else {
+		s.marksValid = false
+	}
 
 	l := &Layered{Par: par, Tau: tau, W: w, Prm: prm, K: k, scratch: s}
+	s.last = l
 
 	// assign returns the compact id of the copy of v in layer t, creating
 	// it on first use.
@@ -188,18 +274,27 @@ func BuildIndexed(ix Index, tau TauPair, s *Scratch) *Layered {
 	// filter (they are matched within their layer), so ids are final here.
 	for t := 0; t <= k; t++ {
 		u := tau.AUnits[t]
-		if u == 0 {
-			continue // window ((0−g)W, 0] holds no positive weight
-		}
-		for _, e := range ix.A(u) {
-			le := graph.Edge{U: int(assign(t, e.U)), V: int(assign(t, e.V)), W: e.W}
-			s.hasX[t*n+e.U] = s.stamp
-			s.hasX[t*n+e.V] = s.stamp
-			s.x = append(s.x, le)
-			if t >= 1 && t <= k-1 {
-				s.ix = append(s.ix, le)
+		if u != 0 { // a zero window ((0−g)W, 0] holds no positive weight
+			for _, e := range ix.A(u) {
+				le := graph.Edge{U: int(assign(t, e.U)), V: int(assign(t, e.V)), W: e.W}
+				s.hasX[t*n+e.U] = s.stamp
+				s.hasX[t*n+e.V] = s.stamp
+				s.x = append(s.x, le)
+				if t >= 1 && t <= k-1 {
+					s.ix = append(s.ix, le)
+				}
 			}
 		}
+		if s.recMarks {
+			s.layerIDEnd[t+1] = int32(len(s.vertOrig))
+			s.layerXEnd[t+1] = int32(len(s.x))
+			s.layerIXEnd[t+1] = int32(len(s.ix))
+		}
+	}
+	if s.recMarks {
+		s.lastXIDs = len(s.vertOrig)
+		s.gapIDEnd[0] = int32(s.lastXIDs)
+		s.gapYEnd[0] = 0
 	}
 
 	// survives applies the Definition 4.10 vertex filter to the copy of v
@@ -210,7 +305,7 @@ func BuildIndexed(ix Index, tau TauPair, s *Scratch) *Layered {
 		if s.hasX[d] == s.stamp {
 			return true
 		}
-		if s.badMark[d] == s.stamp {
+		if s.badMark[d] == s.badStamp {
 			return false
 		}
 		keep := false
@@ -227,7 +322,7 @@ func BuildIndexed(ix Index, tau TauPair, s *Scratch) *Layered {
 			// Intermediate layers: unmatched-in-X vertices are removed.
 		}
 		if !keep {
-			s.badMark[d] = s.stamp
+			s.badMark[d] = s.badStamp
 		}
 		return keep
 	}
@@ -246,6 +341,13 @@ func BuildIndexed(ix Index, tau TauPair, s *Scratch) *Layered {
 			}
 			s.y = append(s.y, graph.Edge{U: int(assign(t, r)), V: int(assign(t+1, lv)), W: e.W})
 		}
+		if s.recMarks {
+			s.gapYEnd[t+1] = int32(len(s.y))
+			s.gapIDEnd[t+1] = int32(len(s.vertOrig))
+		}
+	}
+	if s.recMarks {
+		s.marksValid = true
 	}
 
 	l.NumV = len(s.vertOrig)
@@ -255,7 +357,11 @@ func BuildIndexed(ix Index, tau TauPair, s *Scratch) *Layered {
 }
 
 // Detach copies the Layered's storage out of its scratch arena so it remains
-// valid after the arena is reused.
+// valid after the arena is reused. Any Layered retained across builds on the
+// same Scratch must be Detach()ed first — its slices alias storage the next
+// build overwrites. A detached Layered is a snapshot, not a live view of the
+// arena, so it is no longer usable as a BuildDelta baseline (BuildDelta
+// reports ErrDeltaDetached rather than diffing against copied storage).
 func (l *Layered) Detach() *Layered {
 	if l.scratch == nil {
 		return l

@@ -1,0 +1,269 @@
+package layered
+
+import (
+	"errors"
+
+	"repro/internal/graph"
+)
+
+// BuildDelta error conditions. All of them mean the caller broke the delta
+// contract (prev must be the arena's live latest build over the same index
+// state); the caller falls back to BuildIndexed.
+var (
+	// ErrDeltaNoBase: prev (or the scratch) is nil — there is nothing to
+	// diff against; the first pair of a chain must use BuildIndexed.
+	ErrDeltaNoBase = errors.New("layered: BuildDelta needs a previous scratch-backed build as baseline")
+	// ErrDeltaDetached: prev was Detach()ed. A detached Layered is a copied
+	// snapshot, not a live view of the arena, so diffing against it would
+	// not describe the arena's current contents.
+	ErrDeltaDetached = errors.New("layered: BuildDelta baseline was detached from its scratch")
+	// ErrDeltaScratch: prev was built on a different arena than s.
+	ErrDeltaScratch = errors.New("layered: BuildDelta baseline belongs to a different scratch")
+	// ErrDeltaStale: a later build already ran on the arena, overwriting the
+	// storage prev aliases. Retaining a Layered across builds requires
+	// Detach(); chaining deltas requires prev to be the latest build.
+	ErrDeltaStale = errors.New("layered: BuildDelta baseline is stale (a later build reused its scratch)")
+	// ErrDeltaMismatch: prev was built from a different parametrization,
+	// class weight, or discretisation than ix currently describes, so equal
+	// τ units would not imply equal buckets.
+	ErrDeltaMismatch = errors.New("layered: BuildDelta baseline was built from a different index state")
+)
+
+// YGrouper is the optional Index capability BuildDelta exploits for the Y
+// stage: the unit-u unmatched crossing edges pre-partitioned by the survival
+// classification of their endpoints (the same per-(class, unit) crossing
+// tables the ProbeY survival probe reads), so one lookup returns exactly the
+// edges that survive between a layer of matched unit row and a next layer of
+// matched unit col — in bucket order, with the dead edges never touched.
+// Implemented by IncView; indexes without it (BucketIndex) make BuildDelta
+// fall back to the BuildIndexed-style filtered bucket scan.
+type YGrouper interface {
+	// YGroupsOK reports whether grouped lookup is available (the tables
+	// need maxU < FreeLBit, the same bound as the survival probe).
+	YGroupsOK() bool
+	// YGroup returns the unit-u unmatched crossing edges whose R endpoint
+	// carries a crossing matched edge of unit row (row 0: R free — only
+	// meaningful for the first layer's τA = 0 rule) and whose L endpoint
+	// carries one of unit col (col FreeLBit: L free — the last layer's
+	// rule), oriented U = R endpoint, V = L endpoint, in bucket order.
+	YGroup(u, row, col int) []graph.Edge
+}
+
+// BuildDelta constructs the layered graph of Definition 4.10 for tau by
+// patching the arena state left behind by prev — the immediately preceding
+// build on s for the same index state — instead of reconstructing every
+// layer: the leading X layers whose τA units are unchanged keep their edge
+// segments and compact ids verbatim (the arena is truncated back to the
+// first changed layer, not rebuilt), and when the whole τA vector is
+// unchanged the leading Y gaps with unchanged τB units are kept too. The
+// rebuilt suffix reuses the arena's dense id tables without restamping, so
+// reused copies keep their exact compact ids; the result is bit-identical to
+// BuildIndexed(ix, tau, s) — same X/Y/InteriorX sequences, same ids — which
+// the differential suite (TestBuildDeltaMatchesBuildIndexed, FuzzBuildDelta)
+// asserts across every generator family.
+//
+// cutover is the chaining gate: when fewer than cutover segments (X layers
+// plus kept Y gaps) are reusable, the whole graph is rebuilt from scratch
+// (reused = 0) rather than paying the diff bookkeeping; cutover ≤ 1 chains
+// whenever anything is reusable.
+//
+// reused counts the segments carried over unchanged (Stats.DeltaLayersReused).
+// A non-nil error means prev is not a valid baseline (see the ErrDelta*
+// conditions); the arena is left untouched and the caller should build via
+// BuildIndexed instead.
+func BuildDelta(ix Index, prev *Layered, tau TauPair, s *Scratch, cutover int) (l *Layered, reused int, err error) {
+	if prev == nil || s == nil {
+		return nil, 0, ErrDeltaNoBase
+	}
+	if prev.scratch == nil {
+		return nil, 0, ErrDeltaDetached
+	}
+	if prev.scratch != s {
+		return nil, 0, ErrDeltaScratch
+	}
+	if prev != s.last {
+		return nil, 0, ErrDeltaStale
+	}
+	par, w, prm := ix.Parametrization(), ix.ClassWeight(), ix.Config()
+	if prev.Par != par || prev.W != w || prev.Prm != prm {
+		return nil, 0, ErrDeltaMismatch
+	}
+
+	k, kp := tau.K(), prev.K
+	n := par.N
+	s.growDense((k + 1) * n)
+
+	// px is the number of X layers kept from prev (their τA units match and
+	// their boundary/interior status is identical in both builds: layers
+	// 0..min(k, kp)−1 are interior-or-first in both, and the full vector
+	// keeps the last layer too). q is the number of Y gaps kept, which
+	// additionally requires the X stage to be byte-identical (gap edges and
+	// their fresh ids depend on the whole X id assignment).
+	px, q := 0, 0
+	if s.marksValid { // a baseline built without watermarks offers no prefix
+		maxP := min(k, kp)
+		for px < maxP && prev.Tau.AUnits[px] == tau.AUnits[px] {
+			px++
+		}
+		if k == kp && px == k && prev.Tau.AUnits[k] == tau.AUnits[k] {
+			px = k + 1
+			for q < k && prev.Tau.BUnits[q] == tau.BUnits[q] {
+				q++
+			}
+		}
+	}
+	if px+q < cutover {
+		px, q = 0, 0
+	}
+	reused = px + q
+
+	s.nextBad()
+	s.recMarks = true // chaining implies the next baseline needs marks too
+	s.layerIDEnd = ensureLen32(s.layerIDEnd, k+2)
+	s.layerXEnd = ensureLen32(s.layerXEnd, k+2)
+	s.layerIXEnd = ensureLen32(s.layerIXEnd, k+2)
+	s.gapYEnd = ensureLen32(s.gapYEnd, k+1)
+	s.gapIDEnd = ensureLen32(s.gapIDEnd, k+1)
+
+	l = &Layered{Par: par, Tau: tau, W: w, Prm: prm, K: k, scratch: s}
+	s.last = l
+
+	// lookup returns the compact id of the copy of v in layer t when the
+	// arena's current arrays record one, or −1. Entries are validated
+	// against the arrays rather than a fresh stamp: truncation discards
+	// suffix ids, so a stale table entry either points past the live arrays
+	// or at an id the rebuild reassigned to a different copy.
+	lookup := func(t, v int) int32 {
+		d := t*n + v
+		if s.idMark[d] != s.stamp {
+			return -1
+		}
+		id := s.idAt[d]
+		if int(id) >= len(s.vertOrig) || s.vertLayer[id] != int32(t) || s.vertOrig[id] != int32(v) {
+			return -1
+		}
+		return id
+	}
+	assign := func(t, v int) int32 {
+		if id := lookup(t, v); id >= 0 {
+			return id
+		}
+		id := int32(len(s.vertOrig))
+		d := t*n + v
+		s.idMark[d] = s.stamp
+		s.idAt[d] = id
+		s.vertOrig = append(s.vertOrig, int32(v))
+		s.vertLayer = append(s.vertLayer, int32(t))
+		return id
+	}
+
+	if px == k+1 {
+		// Whole X stage kept: truncate back to the last kept gap.
+		s.vertOrig = s.vertOrig[:s.gapIDEnd[q]]
+		s.vertLayer = s.vertLayer[:s.gapIDEnd[q]]
+		s.y = s.y[:s.gapYEnd[q]]
+	} else {
+		// Truncate to the kept X prefix and rebuild layers px..k. The
+		// arena's stamp is NOT advanced: kept copies keep their table
+		// entries (and so their ids), discarded ones fail the array check.
+		if px == 0 { // watermarks may be unrecorded on this path
+			s.layerIDEnd[0], s.layerXEnd[0], s.layerIXEnd[0] = 0, 0, 0
+		}
+		s.vertOrig = s.vertOrig[:s.layerIDEnd[px]]
+		s.vertLayer = s.vertLayer[:s.layerIDEnd[px]]
+		s.x = s.x[:s.layerXEnd[px]]
+		s.ix = s.ix[:s.layerIXEnd[px]]
+		s.y = s.y[:0]
+		q = 0
+		for t := px; t <= k; t++ {
+			u := tau.AUnits[t]
+			if u != 0 {
+				for _, e := range ix.A(u) {
+					le := graph.Edge{U: int(assign(t, e.U)), V: int(assign(t, e.V)), W: e.W}
+					s.x = append(s.x, le)
+					if t >= 1 && t <= k-1 {
+						s.ix = append(s.ix, le)
+					}
+				}
+			}
+			s.layerIDEnd[t+1] = int32(len(s.vertOrig))
+			s.layerXEnd[t+1] = int32(len(s.x))
+			s.layerIXEnd[t+1] = int32(len(s.ix))
+		}
+		s.lastXIDs = len(s.vertOrig)
+		s.gapIDEnd[0] = int32(s.lastXIDs)
+		s.gapYEnd[0] = 0
+	}
+	xIDs := s.lastXIDs
+
+	// survives mirrors BuildIndexed's vertex filter; "has an X edge" is
+	// "was assigned an id during the X stage" (ids below the stage-1a
+	// watermark), which holds for kept and rebuilt layers alike.
+	survives := func(t, v int) bool {
+		if id := lookup(t, v); id >= 0 && int(id) < xIDs {
+			return true
+		}
+		d := t*n + v
+		if s.badMark[d] == s.badStamp {
+			return false
+		}
+		keep := false
+		switch t {
+		case 0:
+			keep = par.Side[v] && !par.M.IsMatched(v) && tau.AUnits[0] == 0
+		case k:
+			keep = !par.Side[v] && !par.M.IsMatched(v) && tau.AUnits[k] == 0
+		}
+		if !keep {
+			s.badMark[d] = s.badStamp
+		}
+		return keep
+	}
+
+	yg, grouped := ix.(YGrouper)
+	grouped = grouped && yg.YGroupsOK()
+
+	for t := q; t < k; t++ {
+		if grouped {
+			// One classified-group lookup replaces the filtered bucket
+			// scan: the group holds exactly the survivors, in bucket order.
+			row, col := -1, -1
+			switch {
+			case tau.AUnits[t] > 0:
+				row = tau.AUnits[t]
+			case t == 0:
+				row = 0 // free R endpoints, the first-layer τA = 0 rule
+			}
+			switch {
+			case tau.AUnits[t+1] > 0:
+				col = tau.AUnits[t+1]
+			case t+1 == k:
+				col = FreeLBit // free L endpoints, the last-layer rule
+			}
+			if row >= 0 && col >= 0 {
+				for _, e := range yg.YGroup(tau.BUnits[t], row, col) {
+					s.y = append(s.y, graph.Edge{U: int(assign(t, e.U)), V: int(assign(t+1, e.V)), W: e.W})
+				}
+			}
+		} else {
+			for _, e := range ix.B(tau.BUnits[t]) {
+				r, lv := e.U, e.V
+				if !par.Side[r] {
+					r, lv = lv, r
+				}
+				if !survives(t, r) || !survives(t+1, lv) {
+					continue
+				}
+				s.y = append(s.y, graph.Edge{U: int(assign(t, r)), V: int(assign(t+1, lv)), W: e.W})
+			}
+		}
+		s.gapYEnd[t+1] = int32(len(s.y))
+		s.gapIDEnd[t+1] = int32(len(s.vertOrig))
+	}
+
+	s.marksValid = true
+	l.NumV = len(s.vertOrig)
+	l.vertOrig, l.vertLayer = s.vertOrig, s.vertLayer
+	l.X, l.Y, l.InteriorX = s.x, s.y, s.ix
+	return l, reused, nil
+}

@@ -1,0 +1,304 @@
+package layered
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// assertSameLayered fails unless got and want are byte-identical layered
+// graphs: same compact-id decode tables, same X/Y/InteriorX sequences.
+func assertSameLayered(t testing.TB, label string, got, want *Layered) {
+	t.Helper()
+	if got.K != want.K || got.NumV != want.NumV {
+		t.Fatalf("%s: shape differs: K %d/%d NumV %d/%d", label, got.K, want.K, got.NumV, want.NumV)
+	}
+	for id := 0; id < want.NumV; id++ {
+		if got.Orig(id) != want.Orig(id) || got.LayerOf(id) != want.LayerOf(id) {
+			t.Fatalf("%s: id %d decodes (%d,%d), want (%d,%d)", label, id,
+				got.LayerOf(id), got.Orig(id), want.LayerOf(id), want.Orig(id))
+		}
+	}
+	if !edgeSlicesEqual(got.X, want.X) {
+		t.Fatalf("%s: X differs:\n got %v\nwant %v", label, got.X, want.X)
+	}
+	if !edgeSlicesEqual(got.Y, want.Y) {
+		t.Fatalf("%s: Y differs:\n got %v\nwant %v", label, got.Y, want.Y)
+	}
+	if !edgeSlicesEqual(got.InteriorX, want.InteriorX) {
+		t.Fatalf("%s: InteriorX differs:\n got %v\nwant %v", label, got.InteriorX, want.InteriorX)
+	}
+}
+
+// deltaChainCheck drives one class's surviving pairs through a delta chain
+// on one shared scratch (BuildIndexed for the first pair, BuildDelta after)
+// and asserts every build equals a from-scratch BuildIndexed over the same
+// index. Returns the total segments reused, so callers can assert the chain
+// actually chained.
+func deltaChainCheck(t testing.TB, ix Index, pairs []TauPair, s *Scratch, cutover int) int {
+	t.Helper()
+	s.EnableDeltaBaseline()
+	reusedTotal := 0
+	var prev *Layered
+	for pi, tau := range pairs {
+		want := BuildIndexed(ix, tau, nil)
+		var got *Layered
+		if prev == nil {
+			got = BuildIndexed(ix, tau, s)
+		} else {
+			var reused int
+			var err error
+			got, reused, err = BuildDelta(ix, prev, tau, s, cutover)
+			if err != nil {
+				t.Fatalf("pair %d: BuildDelta: %v", pi, err)
+			}
+			reusedTotal += reused
+		}
+		assertSameLayered(t, "delta chain", got, want)
+		prev = got
+	}
+	return reusedTotal
+}
+
+// TestBuildDeltaMatchesBuildIndexed is the unit-level differential: over
+// random instances, evolving matchings, and fresh bipartitions, every
+// delta-chained build — through the grouped IncView path and the filtered
+// BucketIndex fallback alike, at several cutover thresholds — must be
+// byte-identical to a from-scratch BuildIndexed of the same pair.
+func TestBuildDeltaMatchesBuildIndexed(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	reusedTotal := 0
+	for trial := 0; trial < 8; trial++ {
+		n := 10 + rng.Intn(22)
+		inst := graph.RandomGraph(n, 4*n, graph.Weight(1<<(3+rng.Intn(5))), rng)
+		edges := inst.G.Edges()
+		prm := Params{Granularity: []float64{0.5, 0.25, 0.125, 0.0625}[trial%4]}.WithDefaults()
+		ws := testClassWeights(edges, prm)
+		inc := NewIncIndex(n, edges, ws, prm)
+		m := graph.NewMatching(n)
+		sInc, sRef := NewScratch(), NewScratch()
+		enum := NewPairScratch()
+		cutover := []int{0, 1, 2, 5, 100}[trial%5]
+
+		for round := 0; round < 4; round++ {
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				mutateMatching(m, edges[rng.Intn(len(edges))], byte(rng.Intn(256)))
+			}
+			par := Parametrize(n, edges, m, rng)
+			inc.BeginRound(par)
+			for c, w := range ws {
+				if c%3 != round%3 { // subsample classes per round for speed
+					continue
+				}
+				v := inc.View(c)
+				aMask, bMask, ok := v.Masks()
+				if !ok {
+					t.Fatal("masks unavailable at test granularity")
+				}
+				orc, ok := v.Oracle()
+				if !ok {
+					t.Fatal("oracle unavailable at test granularity")
+				}
+				pairs, _ := EnumerateSurvivingPairs(prm, aMask, bMask, 24, orc, enum)
+				if len(pairs) < 2 {
+					continue
+				}
+				// Grouped path over the incremental view.
+				reusedTotal += deltaChainCheck(t, v, pairs, sInc, cutover)
+				// Filtered-scan fallback over a naive BucketIndex.
+				ref := NewBucketIndex(par, w, prm)
+				deltaChainCheck(t, ref, pairs, sRef, cutover)
+			}
+		}
+	}
+	if reusedTotal == 0 {
+		t.Error("no delta build reused any layer segment across all trials")
+	}
+}
+
+// TestBuildDeltaScratchHazards is the regression net for the arena reuse
+// hazard: a baseline that is stale (a later build reused its scratch),
+// detached, foreign to the scratch, missing, or built from a different index
+// state must be refused with the matching sentinel error — never silently
+// diffed against overwritten storage — and the arena must remain usable.
+func TestBuildDeltaScratchHazards(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst := graph.PlantedMatching(24, 96, 50, 120, rng)
+	edges := inst.G.Edges()
+	prm := Params{}.WithDefaults()
+	par := Parametrize(24, edges, inst.Opt, rng)
+	ix := NewBucketIndex(par, 128, prm)
+	pairs := EnumerateGoodPairs(prm)
+	if len(pairs) < 3 {
+		t.Fatal("need at least 3 good pairs")
+	}
+	s := NewScratch()
+
+	lay0 := BuildIndexed(ix, pairs[0], s)
+	lay1 := BuildIndexed(ix, pairs[1], s) // lay0's storage is now overwritten
+
+	if _, _, err := BuildDelta(ix, lay0, pairs[2], s, 1); !errors.Is(err, ErrDeltaStale) {
+		t.Fatalf("stale baseline: got %v, want ErrDeltaStale", err)
+	}
+	if _, _, err := BuildDelta(ix, nil, pairs[2], s, 1); !errors.Is(err, ErrDeltaNoBase) {
+		t.Fatalf("nil baseline: got %v, want ErrDeltaNoBase", err)
+	}
+	if _, _, err := BuildDelta(ix, lay1, pairs[2], NewScratch(), 1); !errors.Is(err, ErrDeltaScratch) {
+		t.Fatalf("foreign scratch: got %v, want ErrDeltaScratch", err)
+	}
+	ix2 := NewBucketIndex(par, 64, prm)
+	if _, _, err := BuildDelta(ix2, lay1, pairs[2], s, 1); !errors.Is(err, ErrDeltaMismatch) {
+		t.Fatalf("index mismatch: got %v, want ErrDeltaMismatch", err)
+	}
+	detached := BuildIndexed(ix, pairs[1], s).Detach()
+	if _, _, err := BuildDelta(ix, detached, pairs[2], s, 1); !errors.Is(err, ErrDeltaDetached) {
+		t.Fatalf("detached baseline: got %v, want ErrDeltaDetached", err)
+	}
+
+	// A refused delta leaves the arena intact: the next builds (indexed and
+	// delta-chained) still produce the from-scratch result.
+	live := BuildIndexed(ix, pairs[0], s)
+	assertSameLayered(t, "post-error rebuild", live, BuildIndexed(ix, pairs[0], nil))
+	next, _, err := BuildDelta(ix, live, pairs[1], s, 1)
+	if err != nil {
+		t.Fatalf("post-error delta: %v", err)
+	}
+	assertSameLayered(t, "post-error delta", next, BuildIndexed(ix, pairs[1], nil))
+}
+
+// naiveClassDirty recomputes the dirty-class predicate from a from-scratch
+// BucketIndex: dirty iff any crossing matched edge lands in a τA window
+// (units 1..maxU) or any crossing unmatched edge in a τB window the
+// enumeration can name (units 2..maxU).
+func naiveClassDirty(ref *BucketIndex, prm Params) bool {
+	maxU, _ := prm.Units()
+	for u := 1; u <= maxU; u++ {
+		if ref.ACount(u) > 0 {
+			return true
+		}
+	}
+	for u := 2; u <= maxU; u++ {
+		if ref.BCount(u) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDirtyClassGate is the gate's property test: under randomized
+// matchings and bipartitions, the round's dirty set must equal the naive
+// per-class recomputation exactly, clean classes must enumerate zero good
+// pairs under their naive BucketIndex masks (so skipping them cannot change
+// any result), and DirtyClasses must count the set exactly.
+func TestDirtyClassGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	sawClean := false
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(20)
+		inst := graph.RandomGraph(n, 2*n, graph.Weight(1<<(3+rng.Intn(6))), rng)
+		edges := inst.G.Edges()
+		prm := Params{Granularity: []float64{0.5, 0.25, 0.125}[trial%3]}.WithDefaults()
+		ws := testClassWeights(edges, prm)
+		inc := NewIncIndex(n, edges, ws, prm)
+		m := graph.NewMatching(n)
+		for round := 0; round < 4; round++ {
+			for k := 0; k < 1+rng.Intn(5); k++ {
+				mutateMatching(m, edges[rng.Intn(len(edges))], byte(rng.Intn(256)))
+			}
+			par := Parametrize(n, edges, m, rng)
+			inc.BeginRound(par)
+			dirtyCnt := 0
+			for c, w := range ws {
+				ref := NewBucketIndex(par, w, prm)
+				want := naiveClassDirty(ref, prm)
+				if got := inc.RoundDirty(c); got != want {
+					t.Fatalf("trial %d round %d class %d (W=%v): RoundDirty=%v, naive=%v",
+						trial, round, c, w, got, want)
+				}
+				if want {
+					dirtyCnt++
+					continue
+				}
+				sawClean = true
+				aMask, bMask, ok := ref.Masks()
+				if !ok {
+					t.Fatal("masks unavailable at test granularity")
+				}
+				if pairs := EnumerateGoodPairsMasked(prm, aMask, bMask, 0); len(pairs) != 0 {
+					t.Fatalf("trial %d round %d class %d: clean class enumerated %d pairs",
+						trial, round, c, len(pairs))
+				}
+			}
+			if inc.DirtyClasses() != dirtyCnt {
+				t.Fatalf("trial %d round %d: DirtyClasses=%d, counted %d",
+					trial, round, inc.DirtyClasses(), dirtyCnt)
+			}
+		}
+	}
+	if !sawClean {
+		t.Error("no clean class across all trials; gate never exercised")
+	}
+}
+
+// FuzzBuildDelta mutates the matched windows (matching toggles with weight
+// perturbation), the τ-masks (fresh bipartitions per round), and the delta
+// cutover threshold, and holds every delta-chained build — grouped and
+// fallback paths — byte-identical to the from-scratch BuildIndexed of the
+// same pair over both index implementations.
+func FuzzBuildDelta(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(1), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(int64(2), uint8(1), uint8(0), []byte{0xff, 0x80, 0x10, 9, 9, 9})
+	f.Add(int64(3), uint8(3), uint8(40), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, granSel, cutSel uint8, script []byte) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(14)
+		inst := graph.RandomGraph(n, 3*n, 1<<6, rng)
+		edges := inst.G.Edges()
+		if len(edges) == 0 {
+			t.Skip()
+		}
+		prm := Params{Granularity: []float64{0.5, 0.25, 0.125, 0.0625}[granSel%4]}.WithDefaults()
+		cutover := int(cutSel%12) - 1 // -1..10: below, at, and past any real reuse
+		ws := testClassWeights(edges, prm)
+		inc := NewIncIndex(n, edges, ws, prm)
+		m := graph.NewMatching(n)
+		sInc, sRef := NewScratch(), NewScratch()
+		enum := NewPairScratch()
+
+		round := func(start int) int {
+			i := start
+			for ; i+1 < len(script) && script[i] != 0; i += 2 {
+				mutateMatching(m, edges[int(script[i])%len(edges)], script[i+1])
+			}
+			return i + 1
+		}
+		pos := 0
+		for r := 0; r < 3; r++ {
+			pos = round(pos)
+			par := Parametrize(n, edges, m, rng)
+			inc.BeginRound(par)
+			for c, w := range ws {
+				if c%3 != r%3 { // subsample classes per round for speed
+					continue
+				}
+				v := inc.View(c)
+				aMask, bMask, ok := v.Masks()
+				if !ok {
+					continue
+				}
+				orc, ok := v.Oracle()
+				if !ok {
+					continue
+				}
+				pairs, _ := EnumerateSurvivingPairs(prm, aMask, bMask, 16, orc, enum)
+				if len(pairs) < 2 {
+					continue
+				}
+				deltaChainCheck(t, v, pairs, sInc, cutover)
+				deltaChainCheck(t, NewBucketIndex(par, w, prm), pairs, sRef, cutover)
+			}
+		}
+	})
+}

@@ -75,6 +75,25 @@ type IncIndex struct {
 	aMask []uint64
 	bMask []uint64
 
+	// Round-scoped dirty-class gate: dirty[c] is true when class c's τ
+	// windows contain at least one crossing edge this round. Clean classes
+	// skip the per-(class, unit) folding entirely — their counts are
+	// logically zero (cntStamp[c] lags the round stamp) and their masks are
+	// the empty-window constants — and provably enumerate zero surviving
+	// pairs, so core.Runner skips them wholesale (Stats.ClassesSkippedDirty).
+	dirty    []bool
+	dirtyCnt int
+	dDiff    []int32 // class-range diff array for the dirty marking
+	crossB   []int32 // crossing unmatched live edge indices, one round pass
+	cntStamp []uint32
+
+	// Grouped Y tables (YGrouper): per (class, τB unit), the bucket's
+	// crossing edges partitioned by the survival classification of their
+	// endpoints, lazily materialised per round like the probe rows.
+	ygStamp [][]uint32
+	ygFlat  [][][]graph.Edge
+	ygSpan  [][]map[uint16]ygSpan
+
 	// Lazily materialised buckets and their content digests; the digests
 	// have their own stamps because they are computed only when a PairKey
 	// first reads them (cache-disabled runs never pay the digesting).
@@ -190,6 +209,12 @@ func NewIncIndex(n int, edges []graph.Edge, ws []float64, prm Params) *IncIndex 
 	x.vUnit = make([][]uint8, len(ws))
 	x.prStamp = make([][]uint32, len(ws))
 	x.pRows = make([][][]uint64, len(ws))
+	x.dirty = make([]bool, len(ws))
+	x.dDiff = make([]int32, len(ws)+1)
+	x.cntStamp = make([]uint32, len(ws))
+	x.ygStamp = make([][]uint32, len(ws))
+	x.ygFlat = make([][][]graph.Edge, len(ws))
+	x.ygSpan = make([][]map[uint16]ygSpan, len(ws))
 	for c := range ws {
 		x.aCnt[c] = make([]int32, maxU+1)
 		x.bCnt[c] = make([]int32, maxU+1)
@@ -205,6 +230,9 @@ func NewIncIndex(n int, edges []graph.Edge, ws []float64, prm Params) *IncIndex 
 		x.vUnit[c] = make([]uint8, n)
 		x.prStamp[c] = make([]uint32, maxU+1)
 		x.pRows[c] = make([][]uint64, maxU+1)
+		x.ygStamp[c] = make([]uint32, maxU+1)
+		x.ygFlat[c] = make([][]graph.Edge, maxU+1)
+		x.ygSpan[c] = make([]map[uint16]ygSpan, maxU+1)
 	}
 	x.views = make([]IncView, len(ws))
 	for c := range x.views {
@@ -253,8 +281,10 @@ func (x *IncIndex) BeginRound(par *Parametrized) {
 			clear(x.bdStamp[c])
 			clear(x.vStamp[c])
 			clear(x.prStamp[c])
+			clear(x.ygStamp[c])
 		}
 		clear(x.probeStamp)
+		clear(x.cntStamp)
 		x.stamp = 1
 	}
 
@@ -290,14 +320,50 @@ func (x *IncIndex) BeginRound(par *Parametrized) {
 	}
 	x.matched, x.swap = next, old[:0]
 
-	for c := range x.ws {
-		clear(x.aCnt[c])
-		clear(x.bCnt[c])
-	}
+	// Dirty marking: one crossing pass over the edges, charging each
+	// crossing edge's contiguous live-class band (and each crossing matched
+	// edge's unit prefix) to a class-range diff array. Classes no crossing
+	// edge touches are clean and skip all per-(class, unit) work below.
+	clear(x.dDiff)
+	x.crossB = x.crossB[:0]
 	for i, e := range x.edges {
+		if x.bOff[i] == x.bOff[i+1] {
+			continue // in no class's τB window
+		}
 		if par.Side[e.U] == par.Side[e.V] || par.M.Has(e.U, e.V) {
 			continue
 		}
+		x.crossB = append(x.crossB, int32(i))
+		x.dDiff[x.bStart[i]]++
+		x.dDiff[int(x.bStart[i])+int(x.bOff[i+1]-x.bOff[i])]--
+	}
+	for mi := range x.matched {
+		me := &x.matched[mi]
+		if len(me.units) == 0 || par.Side[me.e.U] == par.Side[me.e.V] {
+			continue
+		}
+		x.dDiff[0]++
+		x.dDiff[len(me.units)]--
+	}
+	x.dirtyCnt = 0
+	run := int32(0)
+	for c := range x.ws {
+		run += x.dDiff[c]
+		x.dirty[c] = run > 0
+		if x.dirty[c] {
+			x.dirtyCnt++
+			clear(x.aCnt[c])
+			clear(x.bCnt[c])
+			x.cntStamp[c] = x.stamp
+		}
+	}
+
+	// Fold the crossing edges into exact per-(class, unit) counts. Every
+	// increment lands in a dirty class by construction (a crossing in-window
+	// edge is what dirties a class), so clean classes keep their stale
+	// buffers — the cntStamp gate makes ACount/BCount read them as zero.
+	for _, ei := range x.crossB {
+		i := int(ei)
 		for s := x.bOff[i]; s < x.bOff[i+1]; s++ {
 			c := int(x.bStart[i]) + int(s-x.bOff[i])
 			x.bCnt[c][x.bUnits[s]]++
@@ -314,6 +380,10 @@ func (x *IncIndex) BeginRound(par *Parametrized) {
 	}
 
 	for c := range x.ws {
+		if !x.dirty[c] {
+			x.aMask[c], x.bMask[c] = 1, 0 // empty windows: only the τA = 0 free marker
+			continue
+		}
 		aMask, bMask := uint64(1), uint64(0)
 		if x.maxU < 64 {
 			for u := 1; u <= x.maxU; u++ {
@@ -328,6 +398,18 @@ func (x *IncIndex) BeginRound(par *Parametrized) {
 		x.aMask[c], x.bMask[c] = aMask, bMask
 	}
 }
+
+// RoundDirty reports whether class c's τ windows contain any crossing edge
+// in the current round. A clean class provably enumerates zero surviving
+// (τA, τB) pairs — every good pair needs at least one populated τB window
+// (unit ≥ 2), and a clean class has none — so callers may skip its per-class
+// sweep wholesale; core.Runner counts those skips in
+// Stats.ClassesSkippedDirty, and the dirty-gate property test cross-checks
+// the set against naive BucketIndex rebuilds.
+func (x *IncIndex) RoundDirty(c int) bool { return x.dirty[c] }
+
+// DirtyClasses returns the number of dirty classes in the current round.
+func (x *IncIndex) DirtyClasses() int { return x.dirtyCnt }
 
 // View returns the class-c bucket view for the current round. Views from
 // distinct classes may be used concurrently; a single view may not.
@@ -432,8 +514,10 @@ func (x *IncIndex) bDigest(c, u int) uint64 {
 }
 
 // ACount returns the exact crossing-filtered count of the unit-u τA window.
+// Clean classes (no crossing edge in any window) skip the round's count
+// folding; the stamp gate reads their untouched buffers as zero.
 func (v *IncView) ACount(u int) int {
-	if u < 1 || u > v.ix.maxU {
+	if u < 1 || u > v.ix.maxU || v.ix.cntStamp[v.c] != v.ix.stamp {
 		return 0
 	}
 	return int(v.ix.aCnt[v.c][u])
@@ -441,7 +525,7 @@ func (v *IncView) ACount(u int) int {
 
 // BCount returns the exact crossing-filtered count of the unit-u τB window.
 func (v *IncView) BCount(u int) int {
-	if u < 2 || u > v.ix.maxU {
+	if u < 2 || u > v.ix.maxU || v.ix.cntStamp[v.c] != v.ix.stamp {
 		return 0
 	}
 	return int(v.ix.bCnt[v.c][u])
@@ -501,29 +585,13 @@ func (x *IncIndex) probeRows(c, u int) []uint64 {
 		clear(rows)
 	}
 	for _, e := range x.bLive(c, u) {
-		r, l := e.U, e.V
-		if !x.par.Side[r] {
-			r, l = l, r
+		// classifyY is the one copy of the endpoint survival rule, shared
+		// with the grouped Y tables so the probe and YGroup cannot drift.
+		key, _, ok := x.classifyY(c, e)
+		if !ok {
+			continue // an endpoint matched off the bipartition: dead
 		}
-		var row int
-		switch {
-		case x.vStamp[c][r] == x.stamp:
-			row = int(x.vUnit[c][r]) // matched crossing, unit >= 1
-		case !x.par.M.IsMatched(r):
-			row = 0 // free: first-layer τA = 0 rule
-		default:
-			continue // matched off the bipartition: no layer keeps it
-		}
-		var col int
-		switch {
-		case x.vStamp[c][l] == x.stamp:
-			col = int(x.vUnit[c][l])
-		case !x.par.M.IsMatched(l):
-			col = freeLBit // free: last-layer τA = 0 rule
-		default:
-			continue
-		}
-		rows[row] |= 1 << uint(col)
+		rows[key>>8] |= 1 << uint(key&0xff)
 	}
 	return rows
 }
@@ -583,6 +651,121 @@ func (v *IncView) Oracle() (SurvivalOracle, bool) {
 		return nil, false
 	}
 	return v, true
+}
+
+// ygSpan locates one survival group inside a flattened unit bucket:
+// flat[off : off+n] holds the group's edges; fill is the materialisation
+// cursor and equals n once the table is built.
+type ygSpan struct{ off, n, fill int32 }
+
+// ygKey packs a (row, col) survival classification; rows and cols fit a
+// byte (units ≤ maxIncUnit and the FreeLBit marker).
+func ygKey(row, col int) uint16 { return uint16(row)<<8 | uint16(col) }
+
+// classifyY orients a crossing unmatched edge R→L and classifies it by the
+// matched units (or freeness) of its endpoints — the single copy of the
+// endpoint survival rule, consumed bitwise by probeRows and as edge lists
+// by the grouped Y tables. ok is false for dead edges (an endpoint matched
+// off the bipartition survives in no layer).
+func (x *IncIndex) classifyY(c int, e graph.Edge) (key uint16, re graph.Edge, ok bool) {
+	r, l := e.U, e.V
+	if !x.par.Side[r] {
+		r, l = l, r
+	}
+	var row, col int
+	switch {
+	case x.vStamp[c][r] == x.stamp:
+		row = int(x.vUnit[c][r]) // matched crossing, unit ≥ 1
+	case !x.par.M.IsMatched(r):
+		row = 0 // free: the first-layer τA = 0 rule
+	default:
+		return 0, re, false
+	}
+	switch {
+	case x.vStamp[c][l] == x.stamp:
+		col = int(x.vUnit[c][l])
+	case !x.par.M.IsMatched(l):
+		col = freeLBit // free: the last-layer τA = 0 rule
+	default:
+		return 0, re, false
+	}
+	return ygKey(row, col), graph.Edge{U: r, V: l, W: e.W}, true
+}
+
+// ensureYGroups materialises the class's unit-u survival partition for the
+// round: the unit-u crossing bucket, dead edges dropped, survivors grouped
+// by (row, col) classification with bucket order preserved inside each
+// group. Cost is two passes over the bucket, paid once per (round, class,
+// unit) and shared by every (τA, τB) pair BuildDelta assembles from it.
+func (x *IncIndex) ensureYGroups(c, u int) (map[uint16]ygSpan, []graph.Edge) {
+	if x.ygStamp[c][u] == x.stamp {
+		return x.ygSpan[c][u], x.ygFlat[c][u]
+	}
+	x.ygStamp[c][u] = x.stamp
+	x.ensureProbe(c)
+	spans := x.ygSpan[c][u]
+	if spans == nil {
+		spans = make(map[uint16]ygSpan)
+		x.ygSpan[c][u] = spans
+	} else {
+		clear(spans)
+	}
+	bucket := x.bLive(c, u)
+	flat := x.ygFlat[c][u]
+	if cap(flat) < len(bucket) {
+		flat = make([]graph.Edge, len(bucket))
+	}
+	kept := 0
+	for _, e := range bucket {
+		key, _, ok := x.classifyY(c, e)
+		if !ok {
+			continue
+		}
+		sp := spans[key]
+		sp.n++
+		spans[key] = sp
+		kept++
+	}
+	flat = flat[:kept]
+	off := int32(0)
+	for key, sp := range spans {
+		sp.off = off
+		off += sp.n
+		spans[key] = sp
+	}
+	for _, e := range bucket {
+		key, re, ok := x.classifyY(c, e)
+		if !ok {
+			continue
+		}
+		sp := spans[key]
+		flat[sp.off+sp.fill] = re
+		sp.fill++
+		spans[key] = sp
+	}
+	x.ygFlat[c][u] = flat
+	return spans, flat
+}
+
+// YGroupsOK reports whether the grouped Y lookup is available (YGrouper
+// interface); the classification shares the survival probe's unit-bit
+// bound, so it degrades exactly when ProbeY does.
+func (v *IncView) YGroupsOK() bool { return v.ix.maxU < freeLBit }
+
+// YGroup returns the unit-u unmatched crossing edges surviving between a
+// layer of matched unit row and a successor layer of matched unit col
+// (YGrouper interface; row 0 = free R, col FreeLBit = free L), oriented
+// U = R endpoint, V = L endpoint, in bucket order.
+func (v *IncView) YGroup(u, row, col int) []graph.Edge {
+	if u < 2 || u > v.ix.maxU || row < 0 || row > 0xff || col < 0 || col > 0xff {
+		return nil
+	}
+	spans, flat := v.ix.ensureYGroups(v.c, u)
+	sp, ok := spans[ygKey(row, col)]
+	if !ok {
+		return nil
+	}
+	return flat[sp.off : sp.off+sp.n]
 }
 
 // PairKey appends a cache key identifying the pair's layered graph up to

@@ -27,7 +27,7 @@ type Workload struct {
 }
 
 // Workloads returns one instance per generator family used across the
-// E1–E14 experiments, at differential-test scale (a few rounds of each
+// E1–E15 experiments, at differential-test scale (a few rounds of each
 // must stay well under a second). The rng drives every family, so a fixed
 // seed reproduces the exact instances.
 func Workloads(rng *rand.Rand) []Workload {
@@ -40,6 +40,10 @@ func Workloads(rng *rand.Rand) []Workload {
 	geo := graph.GeometricWeights(40, 160, 2, 8, rng)
 	banded := graph.BandedWeights(40, 200, 100, rng)
 	uniform := graph.UniformWeights(36, 150, 64, rng)
+	// The E15 build-bound shape: the E13 one-octave band at 8n density, so
+	// surviving layered builds dominate round time and the differential
+	// builder (BuildDelta) is on the hot path at test scale.
+	bandedDense := graph.BandedWeights(32, 8*32, 100, rng)
 
 	// Start the cycle workload from its perfect-but-suboptimal matching so
 	// the augmenting-cycle machinery (the Section 1.1.2 blow-up) is on the
@@ -62,6 +66,7 @@ func Workloads(rng *rand.Rand) []Workload {
 		{Name: "geometric", G: geo.G},
 		{Name: "banded", G: banded.G},
 		{Name: "uniform", G: uniform.G},
+		{Name: "bandeddense", G: bandedDense.G},
 	}
 }
 

@@ -179,6 +179,182 @@ func TestPrunedEnumerationMatchesProbe(t *testing.T) {
 	}
 }
 
+// TestBuildDeltaMatchesBuildIndexed is the differential suite over the
+// differential layered-graph builder, sweeping every E1–E15 generator
+// family: on matchings evolved by real reduction rounds, every surviving
+// (τA, τB) pair of every class is built twice — delta-chained through one
+// scratch arena (BuildIndexed for the first pair, BuildDelta patching the
+// previous build after) and from scratch — and the X/Y/NumV snapshots must
+// be byte-identical, id for id and edge for edge (Invariant 19). The
+// end-to-end halves of the invariant (bit-identical matchings with
+// Options.Amortize on/off while the amortised path delta-chains) are
+// TestAmortizedMatchesNaive and TestDeltaDisabledBitIdentical.
+func TestBuildDeltaMatchesBuildIndexed(t *testing.T) {
+	prm := layered.Params{}.WithDefaults()
+	chained, reused := 0, 0
+	for _, w := range Workloads(rand.New(rand.NewSource(31))) {
+		weights := core.ClassWeights(w.G, 2, prm)
+		if len(weights) == 0 {
+			continue
+		}
+		inc := layered.NewIncIndex(w.G.N(), w.G.Edges(), weights, prm)
+		m := w.cloneInitial()
+		runner := core.NewRunner(w.G, optsWithRng(core.Options{}, 32))
+		parRng := rand.New(rand.NewSource(33))
+		scratch := layered.NewScratch()
+		scratch.EnableDeltaBaseline()
+		enum := layered.NewPairScratch()
+		var stats core.Stats
+		for round := 0; round < 3; round++ {
+			if _, err := runner.Round(m, &stats); err != nil {
+				t.Fatalf("%s round %d: %v", w.Name, round, err)
+			}
+			par := layered.Parametrize(w.G.N(), w.G.Edges(), m, parRng)
+			inc.BeginRound(par)
+			for c := 0; c < inc.Classes(); c++ {
+				view := inc.View(c)
+				aMask, bMask, ok := view.Masks()
+				if !ok {
+					t.Fatalf("%s: masks unavailable at default granularity", w.Name)
+				}
+				orc, ok := view.Oracle()
+				if !ok {
+					t.Fatalf("%s: oracle unavailable at default granularity", w.Name)
+				}
+				pairs, _ := layered.EnumerateSurvivingPairs(prm, aMask, bMask, 800, orc, enum)
+				var prev *layered.Layered
+				for pi, tau := range pairs {
+					want := layered.BuildIndexed(view, tau, nil)
+					var got *layered.Layered
+					if prev == nil {
+						got = layered.BuildIndexed(view, tau, scratch)
+					} else {
+						var segs int
+						var err error
+						got, segs, err = layered.BuildDelta(view, prev, tau, scratch, 1)
+						if err != nil {
+							t.Fatalf("%s round %d class %d pair %d: BuildDelta: %v",
+								w.Name, round, c, pi, err)
+						}
+						chained++
+						reused += segs
+					}
+					prev = got
+					if err := equalLayered(got, want); err != nil {
+						t.Fatalf("%s round %d class %d pair %d (tau %+v): %v",
+							w.Name, round, c, pi, tau, err)
+					}
+				}
+			}
+		}
+	}
+	if chained == 0 || reused == 0 {
+		t.Fatalf("delta chain never exercised: %d chained builds, %d segments reused", chained, reused)
+	}
+}
+
+// equalLayered reports the first difference between two layered graphs,
+// comparing the full snapshot: compact-id decode tables and the X, Y, and
+// InteriorX edge sequences.
+func equalLayered(got, want *layered.Layered) error {
+	if got.K != want.K || got.NumV != want.NumV {
+		return errMismatch("shape", [2]int{got.K, got.NumV}, [2]int{want.K, want.NumV})
+	}
+	for id := 0; id < want.NumV; id++ {
+		if got.Orig(id) != want.Orig(id) || got.LayerOf(id) != want.LayerOf(id) {
+			return errMismatch("id decode",
+				[2]int{got.LayerOf(id), got.Orig(id)}, [2]int{want.LayerOf(id), want.Orig(id)})
+		}
+	}
+	for _, s := range []struct {
+		name      string
+		got, want []graph.Edge
+	}{{"X", got.X, want.X}, {"Y", got.Y, want.Y}, {"InteriorX", got.InteriorX, want.InteriorX}} {
+		if len(s.got) != len(s.want) {
+			return errMismatch(s.name+" size", len(s.got), len(s.want))
+		}
+		for i := range s.got {
+			if s.got[i] != s.want[i] {
+				return errMismatch(s.name+" edge", s.got[i], s.want[i])
+			}
+		}
+	}
+	return nil
+}
+
+// TestDeltaDisabledBitIdentical isolates the differential builder inside
+// the amortised pipeline: DeltaCutover = −1 rebuilds every surviving pair
+// from scratch while everything else (index, probe, cache) stays on, so
+// equal matchings here mean the delta chain itself — not the surrounding
+// pipeline — is output-transparent. The enabled run must actually chain.
+func TestDeltaDisabledBitIdentical(t *testing.T) {
+	deltaBuilds := 0
+	for _, w := range Workloads(rand.New(rand.NewSource(34))) {
+		sOff, sOn := AssertBitIdentical(t, w,
+			core.Options{Amortize: true, DeltaCutover: -1},
+			core.Options{Amortize: true},
+			35, 5)
+		if sOff.DeltaBuilds != 0 {
+			t.Errorf("%s: DeltaCutover=-1 still delta-built %d graphs", w.Name, sOff.DeltaBuilds)
+		}
+		deltaBuilds += sOn.DeltaBuilds
+		// The gate skips the same clean classes either way.
+		if sOff.ClassesSkippedDirty != sOn.ClassesSkippedDirty {
+			t.Errorf("%s: ClassesSkippedDirty %d (delta off) vs %d (delta on)",
+				w.Name, sOff.ClassesSkippedDirty, sOn.ClassesSkippedDirty)
+		}
+	}
+	if deltaBuilds == 0 {
+		t.Fatal("no workload exercised the delta chain")
+	}
+}
+
+// TestClassesSkippedDirtyExact pins the dirty-gate counter: for every round
+// the amortised Runner executes, a twin Rng replays the identical
+// bipartition and recomputes, class by class from from-scratch BucketIndex
+// rebuilds, which classes have no crossing edge in any τ window — the
+// skipped count must match exactly (Invariant 20's accounting half).
+func TestClassesSkippedDirtyExact(t *testing.T) {
+	prm := layered.Params{}.WithDefaults()
+	maxU, _ := prm.Units()
+	skipped := 0
+	for _, w := range Workloads(rand.New(rand.NewSource(36))) {
+		weights := core.ClassWeights(w.G, 2, prm)
+		runner := core.NewRunner(w.G, optsWithRng(core.Options{Amortize: true}, 37))
+		twin := rand.New(rand.NewSource(37))
+		m := w.cloneInitial()
+		var stats core.Stats
+		for round := 0; round < 4; round++ {
+			// The twin draws the round's bipartition from an identically
+			// seeded Rng before the Runner consumes its own copy.
+			par := layered.Parametrize(w.G.N(), w.G.Edges(), m, twin)
+			expect := 0
+			for _, cw := range weights {
+				ref := layered.NewBucketIndex(par, cw, prm)
+				dirty := false
+				for u := 1; u <= maxU && !dirty; u++ {
+					dirty = ref.ACount(u) > 0 || (u >= 2 && ref.BCount(u) > 0)
+				}
+				if !dirty {
+					expect++
+				}
+			}
+			before := stats.ClassesSkippedDirty
+			if _, err := runner.Round(m, &stats); err != nil {
+				t.Fatalf("%s round %d: %v", w.Name, round, err)
+			}
+			if got := stats.ClassesSkippedDirty - before; got != expect {
+				t.Fatalf("%s round %d: ClassesSkippedDirty=%d, naive recount %d",
+					w.Name, round, got, expect)
+			}
+			skipped += stats.ClassesSkippedDirty - before
+		}
+	}
+	if skipped == 0 {
+		t.Log("no clean classes on any workload this seed; gate counted zero skips exactly")
+	}
+}
+
 func equalTauPairs(a, b layered.TauPair) bool {
 	if len(a.AUnits) != len(b.AUnits) || len(a.BUnits) != len(b.BUnits) {
 		return false
