@@ -187,12 +187,34 @@ func BenchmarkLayeredBuild(b *testing.B) {
 // class with the most surviving pairs.
 func setupBuildDeltaBench(b *testing.B) (*layered.IncView, []layered.TauPair, *layered.Scratch) {
 	rng := rand.New(rand.NewSource(2))
-	inst := graph.PlantedMatching(200, 1000, 100, 200, rng)
+	return setupPairChainBench(b, graph.PlantedMatching(200, 1000, 100, 200, rng), rng)
+}
+
+func setupPairChainBench(b *testing.B, inst graph.Instance, rng *rand.Rand) (*layered.IncView, []layered.TauPair, *layered.Scratch) {
+	// Chain over the class with the most surviving pairs — the regime the
+	// delta builder exists for.
+	var view *layered.IncView
+	var pairs []layered.TauPair
+	forEachBenchClass(b, inst, rng, func(v *layered.IncView, ps []layered.TauPair) {
+		if len(ps) > len(pairs) {
+			view, pairs = v, ps
+		}
+	})
+	if len(pairs) < 2 {
+		b.Fatalf("only %d surviving pairs", len(pairs))
+	}
+	return view, pairs, layered.NewScratch()
+}
+
+// forEachBenchClass is the shared preamble of the pair-chain benchmarks:
+// evolve the instance to mid-convergence (a converged matching has no
+// surviving pairs to build), begin an incremental-index round, and hand
+// the callback every class's surviving pairs — deep-copied, because the
+// enumeration arena is reused by the next class.
+func forEachBenchClass(b *testing.B, inst graph.Instance, rng *rand.Rand, fn func(*layered.IncView, []layered.TauPair)) {
 	prm := layered.Params{}.WithDefaults()
 	weights := core.ClassWeights(inst.G, 2, prm)
 	inc := layered.NewIncIndex(inst.G.N(), inst.G.Edges(), weights, prm)
-	// Evolve a mid-convergence matching (a converged one has no surviving
-	// pairs to build); two naive rounds leave plenty of live windows.
 	m := graph.NewMatching(inst.G.N())
 	runner := core.NewRunner(inst.G, core.Options{Rng: rand.New(rand.NewSource(9))})
 	var st core.Stats
@@ -203,10 +225,6 @@ func setupBuildDeltaBench(b *testing.B) (*layered.IncView, []layered.TauPair, *l
 	}
 	par := layered.Parametrize(inst.G.N(), inst.G.Edges(), m, rng)
 	inc.BeginRound(par)
-	// Chain over the class with the most surviving pairs — the regime the
-	// delta builder exists for.
-	var view *layered.IncView
-	var pairs []layered.TauPair
 	enum := layered.NewPairScratch()
 	for c := range weights {
 		v := inc.View(c)
@@ -219,15 +237,15 @@ func setupBuildDeltaBench(b *testing.B) (*layered.IncView, []layered.TauPair, *l
 			b.Fatal("oracle unavailable")
 		}
 		ps, _ := layered.EnumerateSurvivingPairs(prm, aMask, bMask, 800, orc, enum)
-		if len(ps) > len(pairs) {
-			view = v
-			pairs = append(pairs[:0:0], ps...)
+		pairs := make([]layered.TauPair, 0, len(ps))
+		for _, tau := range ps {
+			pairs = append(pairs, layered.TauPair{
+				AUnits: append([]int(nil), tau.AUnits...),
+				BUnits: append([]int(nil), tau.BUnits...),
+			})
 		}
+		fn(v, pairs)
 	}
-	if len(pairs) < 2 {
-		b.Fatalf("only %d surviving pairs", len(pairs))
-	}
-	return view, pairs, layered.NewScratch()
 }
 
 // BenchmarkBuildDelta measures the differential layered-graph builder as
@@ -263,6 +281,117 @@ func BenchmarkBuildDeltaBaseline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		layered.BuildIndexed(view, pairs[(i+1)%len(pairs)], scratch)
 	}
+}
+
+// BenchmarkRepairHK measures the incremental Hopcroft–Karp repair on the
+// BenchmarkBuildDelta instance's surviving-pair chain: the chain is
+// delta-built once outside the timer (each instance detached with its
+// DeltaInfo), and every
+// iteration solves the next instance by patching the previous solve's
+// retained CSR (bipartite.RepairHK; the wrap-around instance, whose
+// baseline is not the previous solve, falls back to the retained full
+// solve). BenchmarkRepairHKBaseline solves the identical instances from
+// scratch; the ratio is the per-solve setup saving, with bit-identical
+// matchings and phase counts by construction (Invariant 21).
+func BenchmarkRepairHK(b *testing.B) {
+	chain := setupRepairChain(b)
+	hk := bipartite.NewScratch()
+	var baseTok, baseSeq uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := chain[i%len(chain)]
+		var res bipartite.Result
+		if d := c.delta; d.Valid && d.BaseSeq == baseSeq && baseTok != 0 && d.KeptLPrime > 0 {
+			var err error
+			res, err = bipartite.RepairHK(c.bip, hk, bipartite.RepairInfo{
+				BaseToken: baseTok, KeptVerts: d.KeptIDs, KeptEdges: d.KeptLPrime,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			res = bipartite.HopcroftKarpRetained(c.bip, hk)
+		}
+		baseTok, baseSeq = hk.SolveToken(), c.seq
+		_ = res
+	}
+}
+
+// BenchmarkRepairHKBaseline is BenchmarkRepairHK with every solve of the
+// same chain run from scratch by HopcroftKarpScratch — the PR 4 solver
+// configuration and the honest denominator for the repair speedup.
+func BenchmarkRepairHKBaseline(b *testing.B) {
+	chain := setupRepairChain(b)
+	hk := bipartite.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := bipartite.HopcroftKarpScratch(chain[i%len(chain)].bip, hk)
+		_ = res
+	}
+}
+
+// repairCase is one solved instance of the repair benchmark chain: the
+// bipartite view (content-owned, detached from the build arena), the
+// build's DeltaInfo against its chain predecessor, and its BuildSeq.
+type repairCase struct {
+	bip   *bipartite.Bip
+	delta layered.DeltaInfo
+	seq   uint64
+}
+
+// setupRepairChain delta-builds a surviving-pair chain of the
+// BenchmarkLayeredBuild planted instance once and snapshots each instance
+// (the shared-prefix property the repair relies on is a property of the
+// edge-list content, so detached copies preserve it). Among the instance's
+// classes it picks the chain with the densest shared structure per solve —
+// the highest average kept L' prefix — the regime the repair exists for,
+// mirroring how setupBuildDeltaBench picks the class with the most
+// surviving pairs for the builder.
+func setupRepairChain(b *testing.B) []repairCase {
+	rng := rand.New(rand.NewSource(2))
+	inst := graph.PlantedMatching(200, 1000, 100, 200, rng)
+	var best []repairCase
+	bestKept := -1.0
+	forEachBenchClass(b, inst, rng, func(v *layered.IncView, ps []layered.TauPair) {
+		if len(ps) < 2 {
+			return
+		}
+		scratch := layered.NewScratch()
+		scratch.EnableDeltaBaseline()
+		chain := make([]repairCase, 0, len(ps))
+		kept := 0
+		var prev *layered.Layered
+		for i, tau := range ps {
+			var lay *layered.Layered
+			if i == 0 {
+				lay = layered.BuildIndexed(v, tau, scratch)
+			} else {
+				var err error
+				lay, _, err = layered.BuildDelta(v, prev, tau, scratch, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				kept += lay.Delta.KeptLPrime
+			}
+			prev = lay
+			sides := append([]bool(nil), lay.Sides()...)
+			edges := append([]graph.Edge(nil), lay.LPrimeEdges()...)
+			chain = append(chain, repairCase{
+				bip:   &bipartite.Bip{N: lay.NumV, Side: sides, Edges: edges},
+				delta: lay.Delta,
+				seq:   lay.BuildSeq(),
+			})
+		}
+		if avg := float64(kept) / float64(len(ps)-1); avg > bestKept {
+			bestKept, best = avg, chain
+		}
+	})
+	if len(best) < 2 {
+		b.Fatal("no usable repair chain")
+	}
+	return best
 }
 
 func BenchmarkHopcroftKarpOracle(b *testing.B) {

@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 func writeTestGraph(t *testing.T) string {
@@ -70,5 +74,91 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-algo", "greedy"}, strings.NewReader("garbage"), &bytes.Buffer{}); err == nil {
 		t.Error("bad input accepted")
+	}
+}
+
+// TestStatsPrintedExactlyOnce is the reflection audit of the counter
+// ledger: every core.Stats field — enumerated from the struct itself, so a
+// future field cannot be forgotten — must appear as `name=value` exactly
+// once in the text output of each reduction-driven algorithm.
+func TestStatsPrintedExactlyOnce(t *testing.T) {
+	path := writeTestGraph(t)
+	fields := core.Stats{}.Fields()
+	if len(fields) < 10 {
+		t.Fatalf("suspiciously few Stats fields (%d) — reflection broken?", len(fields))
+	}
+	for _, algo := range []string{"approx", "streaming", "mpc"} {
+		for _, extra := range [][]string{nil, {"-amortize"}} {
+			if algo != "approx" && extra != nil {
+				continue
+			}
+			args := append([]string{"-algo", algo, "-input", path}, extra...)
+			var out bytes.Buffer
+			if err := run(args, nil, &out); err != nil {
+				t.Fatalf("%s: %v", algo, err)
+			}
+			for _, f := range fields {
+				n := 0
+				for _, tok := range strings.Fields(out.String()) {
+					if strings.HasPrefix(tok, f.Name+"=") {
+						n++
+					}
+				}
+				if n != 1 {
+					t.Errorf("%s %v: counter %q printed %d times, want exactly once\noutput:\n%s",
+						algo, extra, f.Name, n, out.String())
+				}
+			}
+		}
+	}
+}
+
+// TestJSONRoundTripsStats pins the -json contract: the "stats" member
+// unmarshals back into a core.Stats carrying every field — the JSON
+// object's key set must equal the struct's field set, and re-marshalling
+// must reproduce it byte-for-byte.
+func TestJSONRoundTripsStats(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "approx", "-amortize", "-json", "-input", path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Weight int64           `json:"weight"`
+		Stats  json.RawMessage `json:"stats"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if parsed.Weight == 0 {
+		t.Fatal("weight missing from JSON output")
+	}
+	var asMap map[string]json.RawMessage
+	if err := json.Unmarshal(parsed.Stats, &asMap); err != nil {
+		t.Fatal(err)
+	}
+	st := reflect.TypeOf(core.Stats{})
+	if len(asMap) != st.NumField() {
+		t.Fatalf("stats JSON has %d keys, struct has %d fields", len(asMap), st.NumField())
+	}
+	for i := 0; i < st.NumField(); i++ {
+		if _, ok := asMap[st.Field(i).Name]; !ok {
+			t.Errorf("stats JSON missing field %q", st.Field(i).Name)
+		}
+	}
+	var rt core.Stats
+	if err := json.Unmarshal(parsed.Stats, &rt); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var norm bytes.Buffer
+	if err := json.Compact(&norm, parsed.Stats); err != nil {
+		t.Fatal(err)
+	}
+	if norm.String() != string(again) {
+		t.Fatalf("stats did not round-trip:\n got %s\nwant %s", again, norm.String())
 	}
 }

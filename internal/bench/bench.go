@@ -105,6 +105,7 @@ func Registry() map[string]Runner {
 		"E13": E13SolverBound,
 		"E14": E14UniformClass,
 		"E15": E15DeltaBuild,
+		"E16": E16RepairHK,
 	}
 }
 

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
 	}
@@ -73,5 +75,33 @@ func TestRunAllRenders(t *testing.T) {
 		if !strings.Contains(out, "== "+id) {
 			t.Errorf("output missing experiment %s", id)
 		}
+	}
+}
+
+// TestE12bCountersComplete is the reflection audit of the augbench counter
+// table: every core.Stats field must have its own E12b column, so a future
+// counter cannot be silently missing from the harness ledger.
+func TestE12bCountersComplete(t *testing.T) {
+	tables := E12Convergence(Config{Seed: 1, Trials: 1, Quick: true, Amortize: true})
+	var counters *Table
+	for i := range tables {
+		if tables[i].ID == "E12b" {
+			counters = &tables[i]
+		}
+	}
+	if counters == nil {
+		t.Fatal("E12b table missing")
+	}
+	have := map[string]bool{}
+	for _, h := range counters.Header {
+		have[h] = true
+	}
+	for _, f := range (core.Stats{}).Fields() {
+		if !have[f.Name] {
+			t.Errorf("E12b lacks a column for core.Stats counter %q", f.Name)
+		}
+	}
+	if len(counters.Rows) == 0 || len(counters.Rows[0]) != len(counters.Header) {
+		t.Fatal("E12b rows do not match its header")
 	}
 }

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// E16RepairHK measures the incremental Hopcroft–Karp repair — the
+// solver-side twin of the PR 4 delta builder — on the same two shapes the
+// E15 table uses: the E13 band (build- and solver-bound: thousands of tiny
+// solves per round) and the E12 planted shape (bucket-bound control). Each
+// instance runs the amortised pipeline with identical seeds under three
+// configurations: repair with the default gate (patch whenever anything is
+// shared), repair gated to prefixes of at least 4 shared edges (the
+// cutover sensitivity probe), and repair disabled (RepairCutover = −1,
+// every solve a fresh HopcroftKarpScratch — the PR 4 baseline). Outputs are bit-identical by construction (Invariant 21;
+// asserted across families by the solvertest differential suite), so the
+// ratio isolates the solver setup cost. The counters keep the verdict
+// honest: RepairSolves/RepairEdgesKept show how much adjacency was actually
+// patched rather than rebuilt, and the final weight column proves the runs
+// did not diverge.
+func E16RepairHK(cfg Config) []Table {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nBand, nPlant, rounds := 240, 120, 3
+	if cfg.Quick {
+		nBand, nPlant, rounds = 60, 40, 2
+	}
+	instances := []struct {
+		label string
+		g     *graph.Graph
+		opts  core.Options
+	}{
+		{
+			label: "E13 band (solver-bound)",
+			g:     graph.BandedWeights(nBand, 8*nBand, 100, rng).G,
+			opts:  core.Options{Amortize: true, MaxPairsPerClass: 2000},
+		},
+		{
+			label: "E12 planted (bucket-bound)",
+			g:     graph.PlantedMatching(nPlant, 5*nPlant, 100, 200, rng).G,
+			opts:  core.Options{Amortize: true},
+		},
+	}
+
+	t := Table{
+		ID:    "E16",
+		Title: "incremental Hopcroft-Karp repair (RepairHK) over the delta chain",
+		Claim: "patching the retained CSR beats per-solve rebuilds where solves dominate",
+		Header: []string{"workload", "config", "ms/round", "solver calls", "repair solves",
+			"edges kept", "HK phases", "final weight"},
+	}
+	for _, inst := range instances {
+		seed := cfg.Seed + int64(rng.Intn(1<<20)) // shared: all configs draw identical rounds
+		for _, c := range []struct {
+			label   string
+			cutover int
+		}{{"repair", 0}, {"repair-c4", 4}, {"scratch", -1}} {
+			opts := inst.opts
+			opts.RepairCutover = c.cutover
+			r, err := runSolverBound(inst.g, opts, c.label, seed, rounds)
+			if err != nil {
+				continue
+			}
+			perRound := 0.0
+			if r.stats.Rounds > 0 {
+				perRound = float64(r.elapsed.Microseconds()) / 1000 / float64(r.stats.Rounds)
+			}
+			t.Rows = append(t.Rows, []string{
+				inst.label,
+				c.label,
+				fmt.Sprintf("%.2f", perRound),
+				fi(r.stats.SolverCalls),
+				fi(r.stats.RepairSolves),
+				fi(r.stats.RepairEdgesKept),
+				fi(r.stats.SolverPhases),
+				fi64(int64(r.weight)),
+			})
+		}
+	}
+	return []Table{t}
+}

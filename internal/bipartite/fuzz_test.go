@@ -142,3 +142,71 @@ func TestSeededHKEmptySeedIsCold(t *testing.T) {
 		}
 	}
 }
+
+// FuzzRepairHK is the differential fuzzer of the incremental repair: from
+// each (seed, script) it derives a chain of instances sharing edge-list
+// prefixes, solves the chain through RepairHK, and checks bit-identity —
+// matching and phase count — against a from-scratch solve of every
+// instance (Invariant 21). Script bytes pick the shared-prefix cuts and
+// the regenerated suffix edges; occasional corrupted infos assert that a
+// broken baseline surfaces as a checked ErrRepair*, never a wrong result.
+func FuzzRepairHK(f *testing.F) {
+	f.Add(int64(1), []byte{4, 7, 2})
+	f.Add(int64(2), []byte{0xff, 0x00, 0x80, 0x13, 0x44})
+	f.Add(int64(3), []byte{})
+	f.Add(int64(9), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
+		cur, rng := fuzzBip(seed)
+		s := NewScratch()
+		prev := HopcroftKarpRetained(cur, s)
+		cold := HopcroftKarp(cur)
+		if prev.Phases != cold.Phases || prev.M.Size() != cold.M.Size() {
+			t.Fatalf("retained differs from cold: phases %d/%d size %d/%d",
+				prev.Phases, cold.Phases, prev.M.Size(), cold.M.Size())
+		}
+		for i := 0; i+1 < len(script); i += 2 {
+			ke := int(script[i]) % (len(cur.Edges) + 1)
+			next := &Bip{N: cur.N, Side: cur.Side, Edges: append([]graph.Edge(nil), cur.Edges[:ke]...)}
+			for j := 0; j < int(script[i+1])%6; j++ {
+				u, v := rng.Intn(next.N), rng.Intn(next.N)
+				if next.Side[u] == next.Side[v] {
+					continue
+				}
+				next.Edges = append(next.Edges, graph.Edge{U: u, V: v, W: graph.Weight(1 + rng.Intn(9))})
+			}
+			kv := 0
+			for _, e := range next.Edges[:ke] {
+				kv = max(kv, max(e.U, e.V)+1)
+			}
+			info := RepairInfo{BaseToken: s.SolveToken(), KeptVerts: kv, KeptEdges: ke}
+			if script[i+1]&0x80 != 0 {
+				// Corrupt the baseline token: must be rejected, and the
+				// retained baseline must survive for the real call below.
+				if _, err := RepairHK(next, s, RepairInfo{BaseToken: info.BaseToken + 1, KeptVerts: kv, KeptEdges: ke}); err == nil {
+					t.Fatal("corrupted token accepted")
+				}
+			}
+			got, err := RepairHK(next, s, info)
+			if err != nil {
+				t.Fatalf("step %d: RepairHK: %v", i/2, err)
+			}
+			want := HopcroftKarpScratch(next, NewScratch())
+			if got.Phases != want.Phases {
+				t.Fatalf("step %d: phases %d, want %d", i/2, got.Phases, want.Phases)
+			}
+			ge, we := got.M.Edges(), want.M.Edges()
+			if len(ge) != len(we) {
+				t.Fatalf("step %d: %d edges, want %d", i/2, len(ge), len(we))
+			}
+			for k := range ge {
+				if ge[k] != we[k] {
+					t.Fatalf("step %d: edge %d is %v, want %v", i/2, k, ge[k], we[k])
+				}
+			}
+			if err := got.M.Validate(); err != nil {
+				t.Fatalf("step %d: invalid matching: %v", i/2, err)
+			}
+			cur = next
+		}
+	})
+}

@@ -69,6 +69,18 @@ type Scratch struct {
 	matchEdge []int32 // left vertex -> index of its matched edge in b.Edges
 	dist      []int32
 	queue     []int32
+
+	// Repair retention (repair.go): token identifies the latest retained
+	// solve (0 = none), prevN/prevM its instance shape; off2/to2/eidx2 are
+	// the double-buffered CSR the patch writes into before swapping; out is
+	// the arena-owned result matching retained solves hand back.
+	token uint64
+	prevN int
+	prevM int
+	off2  []int32
+	to2   []int32
+	eidx2 []int32
+	out   *graph.Matching
 }
 
 // NewScratch returns an empty arena.
@@ -127,21 +139,33 @@ func ApproxScratch(b *Bip, delta float64, s *Scratch) Result {
 	return boundedHK(b, 2*ell-1, s, nil)
 }
 
-// prepare sizes the arena for b and builds the CSR adjacency of the left
-// vertices (entries keep b's edge order per vertex, matching the iteration
-// order of the former slice-of-slices adjacency).
-func (s *Scratch) prepare(b *Bip) {
-	n, m := b.N, len(b.Edges)
-	if cap(s.off) < n+1 {
-		s.off = make([]int32, n+1)
+// sizeVerts sizes the per-vertex working arrays for n vertices, preserving
+// no contents (every consumer reinitialises them).
+func (s *Scratch) sizeVerts(n int) {
+	if cap(s.matchL) < n {
 		s.matchL = make([]int32, n)
 		s.matchR = make([]int32, n)
 		s.matchEdge = make([]int32, n)
 		s.dist = make([]int32, n)
 	}
-	s.off = s.off[:n+1]
 	s.matchL, s.matchR = s.matchL[:n], s.matchR[:n]
 	s.matchEdge, s.dist = s.matchEdge[:n], s.dist[:n]
+}
+
+// prepare sizes the arena for b and builds the CSR adjacency of the left
+// vertices (entries keep b's edge order per vertex, matching the iteration
+// order of the former slice-of-slices adjacency).
+func (s *Scratch) prepare(b *Bip) {
+	n, m := b.N, len(b.Edges)
+	// The off gate is deliberately separate from the per-vertex arrays':
+	// the repair path swaps the CSR buffers (patch), so their capacities
+	// evolve independently and a coupled reallocation would leave one side
+	// undersized.
+	if cap(s.off) < n+1 {
+		s.off = make([]int32, n+1)
+	}
+	s.off = s.off[:n+1]
+	s.sizeVerts(n)
 	if cap(s.to) < m {
 		s.to = make([]int32, m)
 		s.eidx = make([]int32, m)
@@ -180,16 +204,35 @@ func (s *Scratch) prepare(b *Bip) {
 }
 
 // boundedHK runs HK phases while the shortest augmenting path length is at
-// most maxLen, optionally warm-started from seeds.
+// most maxLen, optionally warm-started from seeds. It invalidates any
+// retained repair baseline: the arena's CSR now describes this instance,
+// not the one a caller-held RepairInfo refers to.
 func boundedHK(b *Bip, maxLen int, s *Scratch, seeds []Seed) Result {
 	if s == nil {
 		s = NewScratch()
 	}
+	s.token = 0
 	s.prepare(b)
+	phases := s.run(b, maxLen, seeds)
+	m := new(graph.Matching)
+	m.FillFromSolver(b.N, b.Side, s.matchL, s.matchR, s.matchEdge, b.Edges)
+	return Result{M: m, Phases: phases}
+}
+
+// run executes the Hopcroft–Karp phase loop over the arena's current CSR
+// (left behind by prepare or patch), starting from the empty matching,
+// optionally installing seeds first. It returns the phase count; the
+// matching is left in the arena's matchL/matchR/matchEdge state.
+func (s *Scratch) run(b *Bip, maxLen int, seeds []Seed) int {
+	nLeft := 0
 	for i := range s.matchL {
 		s.matchL[i] = -1
 		s.matchR[i] = -1
 		s.matchEdge[i] = -1
+		if !b.Side[i] {
+			nLeft++
+			s.dist[i] = 0 // the phase-1 BFS state, see the first-phase shortcut
+		}
 	}
 	for _, sd := range seeds {
 		if sd.L < 0 || int(sd.L) >= b.N || sd.R < 0 || int(sd.R) >= b.N {
@@ -277,37 +320,54 @@ func boundedHK(b *Bip, maxLen int, s *Scratch, seeds []Seed) Result {
 		return false
 	}
 
+	// Saturation counters: once every left (or every right) vertex is
+	// matched, no augmenting path exists, so the terminal BFS that would
+	// discover that is provably a no-op and is skipped. The phase count is
+	// unchanged (a terminal BFS never counts as a phase), so results stay
+	// bit-identical; on the reduction's layered graphs most solves saturate
+	// a side, making this the common exit.
+	nRight, size := b.N-nLeft, 0
+	if len(seeds) > 0 {
+		for _, r := range s.matchL {
+			if r != -1 {
+				size++
+			}
+		}
+	}
+
+	// First-phase shortcut: from the empty matching every left vertex is a
+	// free BFS source at distance 0 and every right vertex is unmatched, so
+	// the first BFS provably returns 1 when any edge exists (and inf
+	// otherwise) while writing exactly the dist state the init loop above
+	// already produced — phase-1 DFS reads dist only at left vertices,
+	// which are all 0. Skipping it is bit-identical; seeded runs start from
+	// a non-empty matching and take the real BFS from the first iteration.
+	first := size == 0
+
 	phases := 0
-	for {
-		shortest := bfs()
+	for size < nLeft && size < nRight {
+		var shortest int32
+		if first {
+			first = false
+			shortest = 1
+			if len(b.Edges) == 0 {
+				shortest = inf
+			}
+		} else {
+			shortest = bfs()
+		}
 		if shortest == inf || int(shortest) > maxLen {
 			break
 		}
 		phases++
 		for v := 0; v < b.N; v++ {
 			if !b.Side[v] && s.matchL[v] == -1 {
-				dfs(int32(v))
+				if dfs(int32(v)) {
+					size++
+				}
 			}
 		}
 	}
 
-	return Result{M: s.matching(b), Phases: phases}
-}
-
-// matching converts the arena's left-match state into a graph.Matching. The
-// matched edge index is carried through the search, so the edge weight is a
-// direct lookup instead of the former per-call weight map over all edges.
-func (s *Scratch) matching(b *Bip) *graph.Matching {
-	m := graph.NewMatching(b.N)
-	for l := range s.matchL {
-		r := s.matchL[l]
-		if b.Side[l] || r == -1 {
-			continue
-		}
-		// matchL is a valid matching by construction; Add cannot fail.
-		if err := m.Add(graph.Edge{U: l, V: int(r), W: b.Edges[s.matchEdge[l]].W}); err != nil {
-			panic(err)
-		}
-	}
-	return m
+	return phases
 }

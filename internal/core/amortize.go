@@ -43,7 +43,7 @@ func newAmortizer(g *graph.Graph, opts Options) *amortizer {
 	// default: a caller-installed Solver may count passes or draw
 	// randomness, and a warm-started solver depends on the seed history the
 	// cache key does not cover.
-	if opts.Solver == nil && opts.SolverFactory == nil && !opts.WarmStart {
+	if !opts.customSolver() && !opts.WarmStart {
 		am.cache = &pairCache{m: make(map[string][]candidate)}
 	}
 	am.ctxs = make([]amortClassCtx, len(weights))
@@ -55,7 +55,7 @@ func newAmortizer(g *graph.Graph, opts Options) *amortizer {
 		}
 		// Cross-round warm state only for the seedable default solver (the
 		// same gate newClassWorker applies on the naive path).
-		if opts.WarmStart && opts.Solver == nil && opts.SolverFactory == nil {
+		if opts.WarmStart && !opts.customSolver() {
 			am.ctxs[i].warm = newWarmState(bipartite.NewScratch())
 		}
 	}
@@ -86,6 +86,31 @@ type amortClassCtx struct {
 	cache *pairCache
 	enum  *layered.PairScratch
 	warm  *warmState
+
+	// Hit-rate gate state (Options.CacheGate): lookups and hits of this
+	// class across the whole Solve; once cacheOff flips, the class stops
+	// computing pair keys (and digesting buckets) for good. The state is
+	// class-private, but under a worker pool whether a lookup hits depends
+	// on which worker's put landed first, so hit counts — and hence gate
+	// timing — are scheduling-dependent at Workers > 1. Results are not:
+	// the cache (and so the gate) is transparent by construction.
+	cacheLooks int
+	cacheHits  int
+	cacheOff   bool
+}
+
+// cacheGate resolves Options.CacheGate: the lookup budget after which a
+// hitless class stops keying the cache (0 picks the default, negative
+// disables the gate).
+func cacheGate(opts Options) int {
+	switch {
+	case opts.CacheGate < 0:
+		return 0
+	case opts.CacheGate == 0:
+		return 8
+	default:
+		return opts.CacheGate
+	}
 }
 
 // pairCache shares pair solves across the classes of one round, keyed by
@@ -119,6 +144,65 @@ func (pc *pairCache) put(key []byte, cands []candidate) {
 	pc.mu.Lock()
 	pc.m[string(key)] = cp
 	pc.mu.Unlock()
+}
+
+// repairState carries a worker's incremental Hopcroft–Karp repair chain
+// (Options.RepairCutover): the retained bipartite arena plus the identity
+// of the instance it last solved — the solve token the arena issued and the
+// BuildSeq of the layered graph the instance came from. A solve whose
+// layered graph was delta-built directly over that instance
+// (DeltaInfo.BaseSeq matches) patches the retained CSR; everything else
+// runs a full retained solve. Both paths return the bit-identical matching
+// and phase count of a fresh HopcroftKarpScratch (Invariant 21), so the
+// sweep's results are invariant under the worker count even though the
+// chain itself is worker-local.
+type repairState struct {
+	hk *bipartite.Scratch
+	// baseTok is the arena's SolveToken after the last retained solve;
+	// baseSeq the BuildSeq of the layered build that solve's instance was
+	// derived from. Both zero until the first retained solve.
+	baseTok uint64
+	baseSeq uint64
+}
+
+// solve runs the retained/repaired exact solver on the pair's bipartite
+// view. The returned matching is arena-owned and valid only until the next
+// solve on this worker — classAugmentations consumes it within the
+// iteration.
+func (rs *repairState) solve(lay *layered.Layered, bip *bipartite.Bip, cutover int, stats *Stats) (*graph.Matching, int) {
+	if d := lay.Delta; d.Valid && rs.baseTok != 0 && d.BaseSeq == rs.baseSeq {
+		// Default gate: patch whenever anything is shared — the E16 table
+		// measured the patch-always extreme at or slightly ahead of
+		// fraction gates on both shapes (the single-scan patch never costs
+		// meaningfully more than prepare).
+		min := cutover
+		if min <= 0 {
+			min = 1
+		}
+		if d.KeptLPrime >= min {
+			info := bipartite.RepairInfo{
+				BaseToken: rs.baseTok,
+				KeptVerts: d.KeptIDs,
+				KeptEdges: d.KeptLPrime,
+			}
+			if res, err := bipartite.RepairHK(bip, rs.hk, info); err == nil {
+				stats.RepairSolves++
+				stats.RepairEdgesKept += d.KeptLPrime
+				rs.record(lay)
+				return res.M, res.Phases
+			}
+			// A rejected baseline (ErrRepair*) degrades to a full retained
+			// solve, never to a wrong matching.
+		}
+	}
+	res := bipartite.HopcroftKarpRetained(bip, rs.hk)
+	rs.record(lay)
+	return res.M, res.Phases
+}
+
+func (rs *repairState) record(lay *layered.Layered) {
+	rs.baseTok = rs.hk.SolveToken()
+	rs.baseSeq = lay.BuildSeq()
 }
 
 // warmState carries one class's Hopcroft–Karp warm start: the previous

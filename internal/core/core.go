@@ -17,6 +17,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"slices"
 	"sort"
 	"sync"
@@ -42,6 +43,25 @@ func ExactSolver() Solver {
 func ApproxSolver(delta float64) Solver {
 	return func(b *bipartite.Bip) (*graph.Matching, error) {
 		return bipartite.Approx(b, delta).M, nil
+	}
+}
+
+// PhasedSolver is a Solver that additionally reports the subroutine phase
+// count of the call — the unit Stats.SolverPhases accumulates. Installed
+// via Options.PhasedSolverFactory; a plain Solver or SolverFactory closure
+// has no channel for its phase counts, which leaves the ledger's phase
+// column silently zero (the bug this type fixes).
+type PhasedSolver func(b *bipartite.Bip) (*graph.Matching, int, error)
+
+// ExactPhasedSolver returns a scratch-backed exact Hopcroft–Karp
+// PhasedSolver: the factory-path equivalent of the default solver, phase
+// counts included. Each call to ExactPhasedSolver owns a private arena, so
+// a PhasedSolverFactory returning one per class is worker-safe.
+func ExactPhasedSolver() PhasedSolver {
+	hk := bipartite.NewScratch()
+	return func(b *bipartite.Bip) (*graph.Matching, int, error) {
+		res := bipartite.HopcroftKarpScratch(b, hk)
+		return res.M, res.Phases, nil
 	}
 }
 
@@ -84,6 +104,13 @@ type Options struct {
 	// SolverFactory is set, each worker uses an exact Hopcroft–Karp solver
 	// backed by its own scratch arena.
 	SolverFactory func(rng *rand.Rand) Solver
+	// PhasedSolverFactory, when set, takes precedence over SolverFactory
+	// and Solver: like SolverFactory, but the returned solver reports each
+	// call's phase count, which the sweep folds into Stats.SolverPhases
+	// (per worker, then merged — no atomics on the hot path). This is how
+	// installed subroutines keep the phase ledger honest; with a plain
+	// SolverFactory the field stays 0.
+	PhasedSolverFactory func(rng *rand.Rand) PhasedSolver
 	// Amortize enables the cross-round amortised pipeline: the incremental
 	// viability index (window bucketing computed once per edge and
 	// maintained by matched/unmatched deltas instead of rebuilt per round
@@ -111,6 +138,33 @@ type Options struct {
 	// bit-identical to from-scratch builds by construction, asserted by
 	// TestBuildDeltaMatchesBuildIndexed and FuzzBuildDelta.
 	DeltaCutover int
+	// RepairCutover tunes the incremental Hopcroft–Karp repair, the
+	// solver-side twin of the delta chain: with the default exact solver,
+	// every solve retains its adjacency CSR and result arena
+	// (bipartite.HopcroftKarpRetained), and a solve whose layered graph was
+	// delta-built over the instance of the previous solve patches the
+	// retained CSR (bipartite.RepairHK) instead of rebuilding it — whenever
+	// at least RepairCutover edges of the L' list are byte-shared with the
+	// baseline (DeltaInfo.KeptLPrime). 0 uses the default gate (patch
+	// whenever anything is shared; the retained arena saves the per-solve
+	// allocations either way), negative disables the repair path
+	// entirely (every solve is a fresh HopcroftKarpScratch) — the
+	// measurement baseline of the E16 experiment. The repaired solve is
+	// bit-identical to the fresh one — same matching, same phase count —
+	// because the patched CSR is byte-identical to the rebuilt one
+	// (Invariant 21); see Stats.RepairSolves / RepairEdgesKept. Ignored
+	// when a Solver/SolverFactory/PhasedSolverFactory closure or WarmStart
+	// is installed — only the default exact solver retains repair state.
+	RepairCutover int
+	// CacheGate tunes the per-class hit-rate gate on the cross-class solve
+	// cache: a class whose cache lookups have produced zero hits after
+	// CacheGate lookups stops computing pair keys (and so stops digesting
+	// buckets) for the rest of the Solve — on uniform tiers (E14) the cache
+	// never hits yet digested large buckets on every cold round. 0 uses
+	// the default budget (8 lookups), negative disables the gate (every
+	// lookup keys and digests, the pre-gate behaviour). The cache is
+	// transparent either way, so results are unchanged at any setting.
+	CacheGate int
 	// WarmStart seeds the exact Hopcroft–Karp solver with the previous
 	// (τA, τB) pair's matching restricted to the surviving edges, within
 	// each class. Consecutive pairs of a class share most of their layered
@@ -132,6 +186,16 @@ type Options struct {
 	// (convergence curves for the E12 experiment).
 	Trace func(round int, weight graph.Weight)
 }
+
+// hasFactory reports whether a per-class solver factory (phased or plain)
+// is installed; customSolver whether any caller-installed subroutine is —
+// the configurations that disable the default solver's warm/repair/cache
+// machinery.
+func (o Options) hasFactory() bool {
+	return o.SolverFactory != nil || o.PhasedSolverFactory != nil
+}
+
+func (o Options) customSolver() bool { return o.Solver != nil || o.hasFactory() }
 
 func (o Options) withDefaults() Options {
 	o.Layered = o.Layered.WithDefaults()
@@ -197,6 +261,17 @@ type Stats struct {
 	// Y gaps) the differential builder carried over unchanged across all
 	// DeltaBuilds.
 	DeltaLayersReused int
+	// RepairSolves counts solver calls served by the incremental repair
+	// path (layered.DeltaInfo handed to bipartite.RepairHK: CSR patched
+	// from the previous solve instead of rebuilt — bit-identical result,
+	// always 0 on the naive path and at RepairCutover < 0).
+	RepairSolves int
+	// RepairEdgesKept accumulates the byte-shared L' edge-list prefix
+	// lengths across all RepairSolves — the adjacency entries the repair
+	// reused instead of re-deriving. (The ISSUE sketched this counter as
+	// "matches kept"; the shipped repair keeps the adjacency, not the
+	// matches — see DESIGN.md PR 5 for why seeding was rejected.)
+	RepairEdgesKept int
 	// ClassesSkippedDirty counts (round, class) combinations the
 	// round-scoped dirty gate skipped outright: classes whose τ windows
 	// contained no crossing edge, which provably enumerate zero surviving
@@ -206,6 +281,54 @@ type Stats struct {
 	AppliedAugmentations int
 	// Gain is the total weight gained over the initial matching.
 	Gain graph.Weight
+}
+
+// StatField is one Stats counter as a name/value pair (see Stats.Fields).
+type StatField struct {
+	// Name is the kebab-case form of the struct field name (SolverCalls →
+	// solver-calls), the spelling the CLIs print.
+	Name  string
+	Value int64
+}
+
+// Fields returns every Stats counter in struct order with kebab-case
+// names, via reflection — the single source the CLIs print from, so a
+// future Stats field can never be silently dropped from the ledgers (the
+// printer tests in cmd/augrun and internal/bench enumerate the struct the
+// same way and fail on any mismatch).
+func (s Stats) Fields() []StatField {
+	v := reflect.ValueOf(s)
+	out := make([]StatField, 0, v.NumField())
+	for i := 0; i < v.NumField(); i++ {
+		name := v.Type().Field(i).Name
+		var kebab []byte
+		for j := 0; j < len(name); j++ {
+			c := name[j]
+			if c >= 'A' && c <= 'Z' {
+				if j > 0 {
+					kebab = append(kebab, '-')
+				}
+				c += 'a' - 'A'
+			}
+			kebab = append(kebab, c)
+		}
+		out = append(out, StatField{Name: string(kebab), Value: v.Field(i).Int()})
+	}
+	return out
+}
+
+// accumulate folds every counter of other into s, field by field via
+// reflection — the merge twin of Fields, so a future Stats counter can no
+// more be silently dropped from Round's per-class merge than from the
+// printers. Round-level fields (Rounds, AppliedAugmentations, Gain) are
+// always zero on per-class stats, so folding them too is harmless.
+func (s *Stats) accumulate(other Stats) {
+	sv := reflect.ValueOf(s).Elem()
+	ov := reflect.ValueOf(other)
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Field(i)
+		f.SetInt(f.Int() + ov.Field(i).Int())
+	}
 }
 
 // ClassWeights returns the augmentation-class weights, the Algorithm 3
@@ -264,6 +387,13 @@ type classWorker struct {
 	// default solver configuration).
 	warm *warmState
 
+	// repair, when non-nil, replaces the solver with the retained exact
+	// solver that patches the previous solve's CSR for delta-built
+	// instances (Options.RepairCutover ≥ 0 with the default solver
+	// configuration; mutually exclusive with warm, which changes outputs
+	// while repair is bit-identical).
+	repair *repairState
+
 	// used is the class-level conflict set as a stamp array over original
 	// vertices (advancing the stamp clears it in O(1) between classes).
 	used      []uint32
@@ -316,6 +446,19 @@ func (w *classWorker) mark(a graph.Augmentation) {
 func newClassWorker(opts Options) *classWorker {
 	w := &classWorker{scratch: layered.NewScratch()}
 	switch {
+	case opts.PhasedSolverFactory != nil:
+		// Phase-reporting factory: the adapter records each call's phase
+		// count on the worker, where classAugmentations folds it into the
+		// per-class stats (merged per class afterwards, so the totals are
+		// worker-count invariant).
+		w.newSolver = func(rng *rand.Rand) Solver {
+			ps := opts.PhasedSolverFactory(rng)
+			return func(b *bipartite.Bip) (*graph.Matching, error) {
+				m, phases, err := ps(b)
+				w.lastPhases = phases
+				return m, err
+			}
+		}
 	case opts.SolverFactory != nil:
 		w.newSolver = opts.SolverFactory
 	case opts.Solver != nil:
@@ -331,8 +474,11 @@ func newClassWorker(opts Options) *classWorker {
 			return res.M, nil
 		})
 		w.newSolver = func(*rand.Rand) Solver { return solver }
-		if opts.WarmStart {
+		switch {
+		case opts.WarmStart:
 			w.warm = newWarmState(hk)
+		case opts.RepairCutover >= 0:
+			w.repair = &repairState{hk: hk}
 		}
 	}
 	return w
@@ -404,7 +550,7 @@ func (r *Runner) Round(m *graph.Matching, stats *Stats) (graph.Weight, error) {
 	// split is skipped to keep the Rng stream (and thus all fixed-seed
 	// results) identical to the sequential code path.
 	var seeds []int64
-	if opts.SolverFactory != nil {
+	if opts.hasFactory() {
 		seeds = make([]int64, len(weights))
 		for i := range seeds {
 			seeds[i] = opts.Rng.Int63()
@@ -412,7 +558,7 @@ func (r *Runner) Round(m *graph.Matching, stats *Stats) (graph.Weight, error) {
 	}
 
 	workers := opts.Workers
-	if opts.SolverFactory == nil && opts.Solver != nil {
+	if !opts.hasFactory() && opts.Solver != nil {
 		workers = 1
 	}
 	if workers > len(weights) {
@@ -482,14 +628,7 @@ func (r *Runner) Round(m *graph.Matching, stats *Stats) (graph.Weight, error) {
 	// (enumeration) order before the greedy disjoint application.
 	var all []graph.Augmentation
 	for i := range weights {
-		stats.SolverCalls += perStats[i].SolverCalls
-		stats.SolverPhases += perStats[i].SolverPhases
-		stats.LayeredBuilt += perStats[i].LayeredBuilt
-		stats.ProbeSkips += perStats[i].ProbeSkips
-		stats.EnumPruned += perStats[i].EnumPruned
-		stats.CacheHits += perStats[i].CacheHits
-		stats.DeltaBuilds += perStats[i].DeltaBuilds
-		stats.DeltaLayersReused += perStats[i].DeltaLayersReused
+		stats.accumulate(perStats[i])
 		all = append(all, perClass[i]...)
 	}
 	for i := range weights {
@@ -519,7 +658,7 @@ func FindClassAugmentations(
 	par := layered.Parametrize(g.N(), g.Edges(), m, opts.Rng)
 	cw := newClassWorker(opts)
 	var rng *rand.Rand
-	if opts.SolverFactory != nil {
+	if opts.hasFactory() {
 		rng = rand.New(rand.NewSource(opts.Rng.Int63()))
 	}
 	return classAugmentations(par, m, w, cw.newSolver(rng), cw, opts, stats, nil)
@@ -610,6 +749,10 @@ func classAugmentations(
 	} else if warm != nil {
 		warm.resetClass()
 	}
+	rep := cw.repair
+	if warm != nil {
+		rep = nil
+	}
 	var cands []candidate
 	var key []byte
 
@@ -621,17 +764,29 @@ func classAugmentations(
 	var prevLay *layered.Layered
 	for _, tau := range pairs {
 		stats.LayeredBuilt++
+		keyed := false
 		if ac != nil {
 			if !preFiltered && !ac.view.ProbeY(tau) {
 				stats.ProbeSkips++
 				continue
 			}
-			if ac.cache != nil {
+			// Hit-rate gate: a class whose lookups never hit stops paying
+			// for keys (and so for bucket digests) for the rest of the
+			// Solve. The cache is transparent, so gating cannot change the
+			// result — only where the time goes (the E14 uniform tier
+			// digested large buckets for a cache that never hit).
+			if ac.cache != nil && !ac.cacheOff {
 				key = ac.view.PairKey(tau, key[:0])
+				keyed = true
+				ac.cacheLooks++
 				if hit, ok := ac.cache.get(key); ok {
+					ac.cacheHits++
 					stats.CacheHits++
 					cands = append(cands, hit...)
 					continue
+				}
+				if gate := cacheGate(opts); gate > 0 && ac.cacheHits == 0 && ac.cacheLooks >= gate {
+					ac.cacheOff = true
 				}
 			}
 		}
@@ -661,11 +816,16 @@ func classAugmentations(
 		bip := &bipartite.Bip{N: lay.NumV, Side: lay.Sides(), Edges: lp}
 		stats.SolverCalls++
 		var mPrime *graph.Matching
-		if warm != nil {
+		switch {
+		case warm != nil:
 			var phases int
 			mPrime, phases = warm.solve(lay, bip)
 			stats.SolverPhases += phases
-		} else {
+		case rep != nil:
+			var phases int
+			mPrime, phases = rep.solve(lay, bip, opts.RepairCutover, stats)
+			stats.SolverPhases += phases
+		default:
 			cw.lastPhases = 0
 			var err error
 			mPrime, err = solver(bip)
@@ -680,7 +840,7 @@ func classAugmentations(
 				cands = append(cands, candidate{aug: aug, gain: gain})
 			}
 		})
-		if ac != nil && ac.cache != nil {
+		if keyed {
 			ac.cache.put(key, cands[start:])
 		}
 	}

@@ -83,6 +83,44 @@ func (m *Matching) Add(e Edge) error {
 	return nil
 }
 
+// FillFromSolver resets m to n vertices and installs the matching described
+// by a bipartite solver's internal arrays in one pass: side[v] names v's
+// bipartition side, matchL[v] / matchR[v] the mate of a left / right vertex
+// (-1 = unmatched), matchEdge[l] the matched edge index at left vertex l,
+// and edges the instance's edge list the weights are read from. The arrays
+// must describe a valid matching (the solver's construction invariant) —
+// nothing is re-validated. One write per vertex replaces the
+// Reset-then-Add double pass of the former conversion.
+func (m *Matching) FillFromSolver(n int, side []bool, matchL, matchR, matchEdge []int32, edges []Edge) {
+	if cap(m.mate) < n {
+		m.mate = make([]int, n)
+		m.w = make([]Weight, n)
+	}
+	m.mate, m.w = m.mate[:n], m.w[:n]
+	size := 0
+	var total Weight
+	for v := 0; v < n; v++ {
+		l, u := int32(v), matchL[v]
+		if side[v] {
+			u = matchR[v]
+			l = u
+		}
+		m.mate[v] = int(u)
+		if u < 0 {
+			m.w[v] = 0
+			continue
+		}
+		wv := edges[matchEdge[l]].W
+		m.w[v] = wv
+		if !side[v] {
+			size++
+			total += wv
+		}
+	}
+	m.size = size
+	m.total = total
+}
+
 // AddForced inserts edge e, first removing any matched edges that conflict
 // with it. It returns the net weight change.
 func (m *Matching) AddForced(e Edge) Weight {

@@ -34,6 +34,16 @@ type Layered struct {
 	// edges are dropped (Algorithm 4 line 4).
 	InteriorX []graph.Edge
 
+	// Delta describes the byte-shared prefix with the arena's previous
+	// build when this Layered was assembled by BuildDelta (Valid = false on
+	// from-scratch builds). Solver-side consumers key incremental state on
+	// it; see DeltaInfo.
+	Delta DeltaInfo
+
+	// seq is the arena's build counter at this build; it identifies the
+	// build among all builds on the same Scratch (BuildSeq).
+	seq uint64
+
 	// vertOrig[id] and vertLayer[id] decode a compact id.
 	vertOrig  []int32
 	vertLayer []int32
@@ -45,6 +55,14 @@ type Layered struct {
 	// scratch-backed Layereds reuse the arena's side and ML' buffers.
 	scratch *Scratch
 }
+
+// BuildSeq returns the arena build counter stamped on this Layered: every
+// build (BuildIndexed or BuildDelta) on one Scratch gets the next value, so
+// equal BuildSeq means the same build. Consumers chaining per-solve state
+// across builds (the Hopcroft–Karp repair in core) compare it against
+// DeltaInfo.BaseSeq to verify the baseline they retained is the one the
+// delta was diffed against. Detached and nil-scratch builds report 0.
+func (l *Layered) BuildSeq() uint64 { return l.seq }
 
 // Orig returns the original vertex of a compact layered id.
 func (l *Layered) Orig(id int) int { return int(l.vertOrig[id]) }
@@ -102,6 +120,14 @@ type Scratch struct {
 	// only valid BuildDelta baseline (the staleness check: any earlier
 	// build's storage has been overwritten).
 	last *Layered
+
+	// buildSeq counts builds on this arena (Layered.BuildSeq); sidesSeq and
+	// lprimeSeq record which build's Sides / LPrimeEdges the reusable
+	// buffers currently hold, so a delta build can keep the kept-prefix
+	// entries instead of refilling them.
+	buildSeq  uint64
+	sidesSeq  uint64
+	lprimeSeq uint64
 
 	// Watermarks of the latest build, recorded so BuildDelta can truncate
 	// the arena back to the segments shared with the previous pair:
@@ -253,6 +279,8 @@ func BuildIndexed(ix Index, tau TauPair, s *Scratch) *Layered {
 	}
 
 	l := &Layered{Par: par, Tau: tau, W: w, Prm: prm, K: k, scratch: s}
+	s.buildSeq++
+	l.seq = s.buildSeq
 	s.last = l
 
 	// assign returns the compact id of the copy of v in layer t, creating
@@ -380,17 +408,31 @@ func (l *Layered) Detach() *Layered {
 // interior X edges plus all Y edges. Scratch-backed Layereds reuse the
 // arena's buffer.
 func (l *Layered) LPrimeEdges() []graph.Edge {
-	var out []graph.Edge
-	if l.scratch != nil {
-		out = l.scratch.lprime[:0]
+	if l.scratch == nil {
+		out := make([]graph.Edge, 0, len(l.InteriorX)+len(l.Y))
+		out = append(out, l.InteriorX...)
+		out = append(out, l.Y...)
+		return out
+	}
+	s := l.scratch
+	out := s.lprime[:0]
+	// A delta build whose baseline filled this buffer keeps the shared
+	// prefix in place: entries [0, KeptLPrime) are byte-identical by
+	// DeltaInfo, so only the rebuilt suffix is recopied.
+	if keep := l.Delta.KeptLPrime; l.Delta.Valid && s.lprimeSeq == l.Delta.BaseSeq && keep <= cap(out) {
+		out = out[:keep]
+		if keep <= len(l.InteriorX) {
+			out = append(out, l.InteriorX[keep:]...)
+			out = append(out, l.Y...)
+		} else {
+			out = append(out, l.Y[keep-len(l.InteriorX):]...)
+		}
 	} else {
-		out = make([]graph.Edge, 0, len(l.InteriorX)+len(l.Y))
+		out = append(out, l.InteriorX...)
+		out = append(out, l.Y...)
 	}
-	out = append(out, l.InteriorX...)
-	out = append(out, l.Y...)
-	if l.scratch != nil {
-		l.scratch.lprime = out
-	}
+	s.lprime = out
+	s.lprimeSeq = l.seq
 	return out
 }
 
@@ -402,18 +444,29 @@ func (l *Layered) SideOf(id int) bool { return l.Par.Side[l.Orig(id)] }
 // Sides materialises the side array over the compact ids. Scratch-backed
 // Layereds reuse the arena's buffer.
 func (l *Layered) Sides() []bool {
-	var side []bool
-	if l.scratch != nil {
-		if cap(l.scratch.sides) < l.NumV {
-			l.scratch.sides = make([]bool, l.NumV)
+	if l.scratch == nil {
+		side := make([]bool, l.NumV)
+		for id := range side {
+			side[id] = l.SideOf(id)
 		}
-		side = l.scratch.sides[:l.NumV]
-	} else {
-		side = make([]bool, l.NumV)
+		return side
 	}
-	for id := range side {
+	s := l.scratch
+	if cap(s.sides) < l.NumV {
+		s.sides = make([]bool, l.NumV)
+		s.sidesSeq = 0 // fresh storage holds no baseline prefix
+	}
+	side := s.sides[:l.NumV]
+	start := 0
+	// A delta build whose baseline filled this buffer keeps the kept ids'
+	// entries: ids [0, KeptIDs) decode identically, so their sides do too.
+	if l.Delta.Valid && s.sidesSeq == l.Delta.BaseSeq {
+		start = l.Delta.KeptIDs
+	}
+	for id := start; id < l.NumV; id++ {
 		side[id] = l.SideOf(id)
 	}
+	s.sidesSeq = l.seq
 	return side
 }
 

@@ -49,6 +49,41 @@ type YGrouper interface {
 	YGroup(u, row, col int) []graph.Edge
 }
 
+// DeltaInfo describes how a build relates to the build that preceded it on
+// the same arena — the changed-suffix descriptor the solver-side repair
+// (bipartite.RepairHK) consumes. BuildDelta fills it from the kept-prefix
+// watermarks it already maintains; from-scratch builds leave it zero
+// (Valid = false). All counts are relative to the baseline build named by
+// BaseSeq, and "kept" means byte-identical: the same edges with the same
+// compact ids, at the same positions of the arena's slices (Invariant 19).
+type DeltaInfo struct {
+	// Valid reports that the build was assembled by BuildDelta from a live
+	// baseline, so the remaining fields describe a real shared prefix.
+	Valid bool
+	// BaseSeq is the BuildSeq of the baseline build the prefix is shared
+	// with. Consumers chaining state across solves must check it against
+	// the BuildSeq of the instance they last processed: a build in between
+	// (a probe-rejected or cache-served pair is not one — those never
+	// build) breaks the correspondence.
+	BaseSeq uint64
+	// KeptXLayers is the number of leading X layers kept verbatim (the
+	// first rebuilt X-layer index); KeptYGaps the number of leading Y gaps
+	// kept, which is non-zero only when the whole X stage was kept.
+	KeptXLayers, KeptYGaps int
+	// KeptIDs: compact ids [0, KeptIDs) decode identically in the baseline
+	// and this build, and every edge of the kept prefixes below has both
+	// endpoints under it.
+	KeptIDs int
+	// KeptX, KeptInteriorX, KeptY are the byte-shared prefix lengths of the
+	// X / InteriorX / Y slices.
+	KeptX, KeptInteriorX, KeptY int
+	// KeptLPrime is the byte-shared prefix length of the L' edge list
+	// (InteriorX followed by Y, the LPrimeEdges concatenation): the whole
+	// InteriorX plus KeptY when the X stage was fully kept, KeptInteriorX
+	// otherwise.
+	KeptLPrime int
+}
+
 // BuildDelta constructs the layered graph of Definition 4.10 for tau by
 // patching the arena state left behind by prev — the immediately preceding
 // build on s for the same index state — instead of reconstructing every
@@ -126,6 +161,9 @@ func BuildDelta(ix Index, prev *Layered, tau TauPair, s *Scratch, cutover int) (
 	s.gapIDEnd = ensureLen32(s.gapIDEnd, k+1)
 
 	l = &Layered{Par: par, Tau: tau, W: w, Prm: prm, K: k, scratch: s}
+	baseSeq := prev.seq
+	s.buildSeq++
+	l.seq = s.buildSeq
 	s.last = l
 
 	// lookup returns the compact id of the copy of v in layer t when the
@@ -265,5 +303,22 @@ func BuildDelta(ix Index, prev *Layered, tau TauPair, s *Scratch, cutover int) (
 	l.NumV = len(s.vertOrig)
 	l.vertOrig, l.vertLayer = s.vertOrig, s.vertLayer
 	l.X, l.Y, l.InteriorX = s.x, s.y, s.ix
+
+	// Surface the changed-suffix descriptor for the solver-side repair. The
+	// watermark entries of the kept prefix survive the rebuild (the stages
+	// above only write entries past px / q), so they still name the
+	// baseline's — and hence the shared — prefix lengths.
+	l.Delta = DeltaInfo{Valid: true, BaseSeq: baseSeq, KeptXLayers: px, KeptYGaps: q, KeptIDs: int(s.layerIDEnd[px])}
+	if px == k+1 {
+		l.Delta.KeptIDs = int(s.gapIDEnd[q])
+		l.Delta.KeptX = len(s.x)
+		l.Delta.KeptInteriorX = len(s.ix)
+		l.Delta.KeptY = int(s.gapYEnd[q])
+		l.Delta.KeptLPrime = len(s.ix) + int(s.gapYEnd[q])
+	} else {
+		l.Delta.KeptX = int(s.layerXEnd[px])
+		l.Delta.KeptInteriorX = int(s.layerIXEnd[px])
+		l.Delta.KeptLPrime = int(s.layerIXEnd[px])
+	}
 	return l, reused, nil
 }

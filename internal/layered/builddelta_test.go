@@ -42,11 +42,15 @@ func deltaChainCheck(t testing.TB, ix Index, pairs []TauPair, s *Scratch, cutove
 	s.EnableDeltaBaseline()
 	reusedTotal := 0
 	var prev *Layered
+	var prevSnap *Layered
 	for pi, tau := range pairs {
 		want := BuildIndexed(ix, tau, nil)
 		var got *Layered
 		if prev == nil {
 			got = BuildIndexed(ix, tau, s)
+			if got.Delta.Valid {
+				t.Fatalf("pair %d: from-scratch build claims a delta baseline", pi)
+			}
 		} else {
 			var reused int
 			var err error
@@ -55,11 +59,77 @@ func deltaChainCheck(t testing.TB, ix Index, pairs []TauPair, s *Scratch, cutove
 				t.Fatalf("pair %d: BuildDelta: %v", pi, err)
 			}
 			reusedTotal += reused
+			assertDeltaInfo(t, pi, got, prevSnap, prev.BuildSeq())
 		}
 		assertSameLayered(t, "delta chain", got, want)
 		prev = got
+		// Snapshot for the next iteration's DeltaInfo audit: the arena
+		// reuses prev's storage, so the baseline must be copied out.
+		prevSnap = snapshotLayered(got)
 	}
 	return reusedTotal
+}
+
+// snapshotLayered copies the build's solver-visible content out of the
+// arena (the test-side analogue of Detach, without touching the build).
+func snapshotLayered(l *Layered) *Layered {
+	cp := &Layered{K: l.K, NumV: l.NumV}
+	cp.X = append([]graph.Edge(nil), l.X...)
+	cp.Y = append([]graph.Edge(nil), l.Y...)
+	cp.InteriorX = append([]graph.Edge(nil), l.InteriorX...)
+	cp.vertOrig = append([]int32(nil), l.vertOrig...)
+	cp.vertLayer = append([]int32(nil), l.vertLayer...)
+	return cp
+}
+
+// assertDeltaInfo audits the changed-suffix descriptor a delta build
+// surfaces for the solver-side repair: every "kept" count must name a
+// byte-identical prefix of the baseline (edges and compact-id decode
+// tables alike), and every kept L' edge must keep both endpoints under
+// KeptIDs — the contracts bipartite.RepairHK patches its CSR on.
+func assertDeltaInfo(t testing.TB, pi int, got, base *Layered, baseSeq uint64) {
+	t.Helper()
+	d := got.Delta
+	if !d.Valid || d.BaseSeq != baseSeq {
+		t.Fatalf("pair %d: DeltaInfo %+v does not name baseline seq %d", pi, d, baseSeq)
+	}
+	check := func(what string, gotE, baseE []graph.Edge, kept int) {
+		if kept < 0 || kept > len(gotE) || kept > len(baseE) {
+			t.Fatalf("pair %d: Kept%s %d out of range (got %d, base %d)",
+				pi, what, kept, len(gotE), len(baseE))
+		}
+		for i := 0; i < kept; i++ {
+			if gotE[i] != baseE[i] {
+				t.Fatalf("pair %d: %s[%d] = %v differs from baseline %v under Kept%s=%d",
+					pi, what, i, gotE[i], baseE[i], what, kept)
+			}
+		}
+	}
+	check("X", got.X, base.X, d.KeptX)
+	check("InteriorX", got.InteriorX, base.InteriorX, d.KeptInteriorX)
+	check("Y", got.Y, base.Y, d.KeptY)
+	if d.KeptIDs < 0 || d.KeptIDs > got.NumV || d.KeptIDs > base.NumV {
+		t.Fatalf("pair %d: KeptIDs %d out of range (got %d, base %d)", pi, d.KeptIDs, got.NumV, base.NumV)
+	}
+	for id := 0; id < d.KeptIDs; id++ {
+		if got.vertOrig[id] != base.vertOrig[id] || got.vertLayer[id] != base.vertLayer[id] {
+			t.Fatalf("pair %d: kept id %d decodes (%d,%d), baseline (%d,%d)", pi, id,
+				got.vertLayer[id], got.vertOrig[id], base.vertLayer[id], base.vertOrig[id])
+		}
+	}
+	lp := make([]graph.Edge, 0, len(got.InteriorX)+len(got.Y))
+	lp = append(lp, got.InteriorX...)
+	lp = append(lp, got.Y...)
+	baseLP := make([]graph.Edge, 0, len(base.InteriorX)+len(base.Y))
+	baseLP = append(baseLP, base.InteriorX...)
+	baseLP = append(baseLP, base.Y...)
+	check("LPrime", lp, baseLP, d.KeptLPrime)
+	for i := 0; i < d.KeptLPrime; i++ {
+		if lp[i].U >= d.KeptIDs || lp[i].V >= d.KeptIDs {
+			t.Fatalf("pair %d: kept L' edge %d = %v has an endpoint at or past KeptIDs %d",
+				pi, i, lp[i], d.KeptIDs)
+		}
+	}
 }
 
 // TestBuildDeltaMatchesBuildIndexed is the unit-level differential: over

@@ -19,11 +19,29 @@ import (
 // and half-augmenting paths are never materialised. The Walk's slices are
 // reused between invocations: fn must not retain them.
 func (l *Layered) AugmentingWalks(mPrime *graph.Matching, fn func(Walk)) {
-	mlp := l.MatchingLPrime()
 	s := l.scratch
 	if s == nil {
 		s = NewScratch()
 	}
+	if len(l.InteriorX) == 0 {
+		// No interior matched edges: ML' is empty, so every M' edge is by
+		// itself an augmenting path. Emitting each from its smaller
+		// endpoint reproduces the generic extraction's walks in its order
+		// (the ascending scan reaches the smaller endpoint first) without
+		// building ML' or the visited set.
+		for v := 0; v < l.NumV; v++ {
+			u := mPrime.Mate(v)
+			if u <= v { // unmatched (-1) or already emitted from u
+				continue
+			}
+			s.walkMatched = append(s.walkMatched[:0], false)
+			s.walkWeights = append(s.walkWeights[:0], mPrime.EdgeWeightAt(v))
+			s.walkOrig = append(s.walkOrig[:0], l.Orig(v), l.Orig(u))
+			fn(Walk{Vertices: s.walkOrig, Matched: s.walkMatched, Weights: s.walkWeights})
+		}
+		return
+	}
+	mlp := l.MatchingLPrime()
 	if cap(s.visited) < l.NumV {
 		s.visited = make([]bool, l.NumV)
 	}
