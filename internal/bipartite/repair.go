@@ -26,6 +26,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 )
 
@@ -105,6 +106,12 @@ func RepairHK(b *Bip, s *Scratch, info RepairInfo) (Result, error) {
 		return Result{}, ErrRepairNoBase
 	}
 	if info.BaseToken != s.token {
+		return Result{}, ErrRepairStale
+	}
+	// Hazard site (chaos testing): report the retained CSR's token
+	// mismatched before the arena is touched, exactly as a real overwrite
+	// by a foreign solve would.
+	if faultinject.Fire(faultinject.RepairToken) {
 		return Result{}, ErrRepairStale
 	}
 	if info.KeptVerts < 0 || info.KeptVerts > b.N || info.KeptVerts > s.prevN ||

@@ -9,9 +9,11 @@ package core
 // differential tests for the equivalences each pair is held to.
 
 import (
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/bipartite"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/layered"
 )
@@ -44,7 +46,7 @@ func newAmortizer(g *graph.Graph, opts Options) *amortizer {
 	// randomness, and a warm-started solver depends on the seed history the
 	// cache key does not cover.
 	if !opts.customSolver() && !opts.WarmStart {
-		am.cache = &pairCache{m: make(map[string][]candidate)}
+		am.cache = &pairCache{m: make(map[string]cacheEntry)}
 	}
 	am.ctxs = make([]amortClassCtx, len(weights))
 	for i := range am.ctxs {
@@ -66,10 +68,30 @@ func newAmortizer(g *graph.Graph, opts Options) *amortizer {
 // previous round's cache (a fresh bipartition invalidates every layered
 // graph).
 func (am *amortizer) beginRound(par *layered.Parametrized) {
+	if testBeginRoundPanic != nil {
+		testBeginRoundPanic()
+	}
 	am.inc.BeginRound(par)
 	if am.cache != nil {
 		am.cache.reset()
 	}
+}
+
+// testBeginRoundPanic, when set by a test, runs at the top of beginRound —
+// the hook the reset-rung tests use to fault the round-scoped setup.
+var testBeginRoundPanic func()
+
+// safeBeginRound is the ladder's wrapper around beginRound: a panic out of
+// the amortised round setup is recovered into a PanicError (Class -1) for
+// Round's reset rung instead of escaping to the Solve caller.
+func (am *amortizer) safeBeginRound(par *layered.Parametrized) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Class: -1, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	am.beginRound(par)
+	return nil
 }
 
 // amortClassCtx is the per-class slice of the amortised state handed to
@@ -86,6 +108,13 @@ type amortClassCtx struct {
 	cache *pairCache
 	enum  *layered.PairScratch
 	warm  *warmState
+
+	// quarantined marks the class's amortised context as damaged (a
+	// recovered sweep panic or an escaped corruption sentinel): Round's
+	// fallback pass sets it, and every later sweep of the class runs cold
+	// (ac == nil) for the rest of the Solve. The lazy per-class state left
+	// behind is stamp-guarded and simply never consulted again.
+	quarantined bool
 
 	// Hit-rate gate state (Options.CacheGate): lookups and hits of this
 	// class across the whole Solve; once cacheOff flips, the class stops
@@ -121,7 +150,49 @@ func cacheGate(opts Options) int {
 // populate it in any order without disturbing the deterministic merge.
 type pairCache struct {
 	mu sync.Mutex
-	m  map[string][]candidate
+	m  map[string]cacheEntry
+}
+
+// cacheEntry is one cached pair solve plus the checksum sealed at put time.
+// The checksum is the cache rung's self-check: a hit is only served after
+// cacheSum re-derives it, so corrupted candidates are evicted and re-solved
+// (FallbackCacheDrops) instead of merged into the matching.
+type cacheEntry struct {
+	cands []candidate
+	sum   uint64
+}
+
+// cacheSum digests a cache entry — the key bytes and every candidate's gain
+// and edge lists — with FNV-1a. Any flipped byte in either the key mapping
+// or the stored candidates changes the digest.
+func cacheSum(key string, cands []candidate) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for s := 0; s < 64; s += 8 {
+			h = (h ^ (x >> s & 0xff)) * prime64
+		}
+	}
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * prime64
+	}
+	mixEdges := func(es []graph.Edge) {
+		mix(uint64(len(es)))
+		for _, e := range es {
+			mix(uint64(e.U))
+			mix(uint64(e.V))
+			mix(uint64(e.W))
+		}
+	}
+	for _, c := range cands {
+		mix(uint64(c.gain))
+		mixEdges(c.aug.Remove)
+		mixEdges(c.aug.Add)
+	}
+	return h
 }
 
 func (pc *pairCache) reset() {
@@ -130,19 +201,34 @@ func (pc *pairCache) reset() {
 	pc.mu.Unlock()
 }
 
-func (pc *pairCache) get(key []byte) ([]candidate, bool) {
+// get serves a checksum-verified hit. corrupt reports that an entry existed
+// but failed its self-check and was evicted — the caller counts the fallback
+// and re-solves the pair as if it had missed.
+func (pc *pairCache) get(key []byte) (cands []candidate, ok, corrupt bool) {
 	pc.mu.Lock()
 	v, ok := pc.m[string(key)]
+	if ok && v.sum != cacheSum(string(key), v.cands) {
+		delete(pc.m, string(key))
+		pc.mu.Unlock()
+		return nil, false, true
+	}
 	pc.mu.Unlock()
-	return v, ok
+	return v.cands, ok, false
 }
 
 func (pc *pairCache) put(key []byte, cands []candidate) {
 	// Copy: the caller's slice is re-sorted by the class-level conflict
 	// resolution, which would scramble a shared backing array.
 	cp := append([]candidate(nil), cands...)
+	sum := cacheSum(string(key), cp)
+	// Hazard site (chaos testing): seal the entry with a wrong digest, as a
+	// bit flip in the stored candidates would. The next get detects it,
+	// evicts, and the pair re-solves.
+	if faultinject.Fire(faultinject.CacheDigest) {
+		sum ^= 1
+	}
 	pc.mu.Lock()
-	pc.m[string(key)] = cp
+	pc.m[string(key)] = cacheEntry{cands: cp, sum: sum}
 	pc.mu.Unlock()
 }
 
@@ -185,14 +271,23 @@ func (rs *repairState) solve(lay *layered.Layered, bip *bipartite.Bip, cutover i
 				KeptVerts: d.KeptIDs,
 				KeptEdges: d.KeptLPrime,
 			}
+			// Hazard site (chaos testing): corrupt the kept-prefix
+			// descriptor the way a damaged DeltaInfo would. RepairHK's
+			// bounds check rejects it (ErrRepairInfo) before touching the
+			// arena, so the fall-through below takes over.
+			if faultinject.Fire(faultinject.RepairInfo) {
+				info.KeptEdges = int(^uint32(0) >> 1)
+			}
 			if res, err := bipartite.RepairHK(bip, rs.hk, info); err == nil {
 				stats.RepairSolves++
 				stats.RepairEdgesKept += d.KeptLPrime
 				rs.record(lay)
 				return res.M, res.Phases
 			}
-			// A rejected baseline (ErrRepair*) degrades to a full retained
-			// solve, never to a wrong matching.
+			// Solve rung of the ladder: a rejected baseline (ErrRepair*,
+			// real or injected) degrades to the full retained solve below,
+			// never to a wrong matching or an error.
+			stats.FallbackSolves++
 		}
 	}
 	res := bipartite.HopcroftKarpRetained(bip, rs.hk)

@@ -18,11 +18,13 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"runtime/debug"
 	"slices"
 	"sort"
 	"sync"
 
 	"repro/internal/bipartite"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/layered"
 )
@@ -277,6 +279,35 @@ type Stats struct {
 	// contained no crossing edge, which provably enumerate zero surviving
 	// pairs (always 0 on the naive path).
 	ClassesSkippedDirty int
+	// FallbackBuilds counts delta-chain builds that degraded to a
+	// from-scratch BuildIndexed after the baseline was rejected (ErrDelta*
+	// sentinel or injected staleness) — the build rung of the degradation
+	// ladder. Always 0 while the chain is healthy.
+	FallbackBuilds int
+	// FallbackSolves counts repair-path solver calls that degraded to a
+	// full retained solve after the baseline or descriptor was rejected
+	// (ErrRepair* sentinel or injected corruption) — the solve rung of the
+	// ladder. Always 0 while the repair chain is healthy.
+	FallbackSolves int
+	// FallbackCacheDrops counts cross-class cache hits discarded because
+	// the entry failed its checksum self-check: the entry is evicted and
+	// the pair re-solved, so a corrupted cached candidate set can never
+	// reach the matching.
+	FallbackCacheDrops int
+	// FallbackClasses counts per-class sweeps re-run through the cold path
+	// (naive bucket index, fresh worker arena) after a recovered worker
+	// panic or an escaped state-fault sentinel; the class's amortised state
+	// is quarantined for the rest of the Solve.
+	FallbackClasses int
+	// FallbackSweeps counts rounds that ran the full class sweep because
+	// the dirty-gate bitmap failed its digest self-check — no skip decision
+	// was trusted that round.
+	FallbackSweeps int
+	// FallbackResets counts rebuilds of the whole amortised context
+	// (incremental index, per-class state, cache) after a fault escaped the
+	// per-class rungs; a second failure disables amortisation for the rest
+	// of the Solve rather than erroring.
+	FallbackResets int
 	// AppliedAugmentations counts augmentations applied to the matching.
 	AppliedAugmentations int
 	// Gain is the total weight gained over the initial matching.
@@ -541,7 +572,20 @@ func (r *Runner) Round(m *graph.Matching, stats *Stats) (graph.Weight, error) {
 	// not the per-class analysis).
 	par := layered.Parametrize(g.N(), g.Edges(), m, opts.Rng)
 	if r.am != nil {
-		r.am.beginRound(par)
+		// Round rung of the degradation ladder: a panic while syncing the
+		// amortised context means none of its cross-round state can be
+		// trusted, so rebuild the whole context from scratch (bit-identical
+		// by the rebuild-twin equivalence the differential suite pins); a
+		// second failure disables amortisation for the rest of the run. A
+		// Solve never crashes or errors for it either way.
+		if err := r.am.safeBeginRound(par); err != nil {
+			stats.FallbackResets++
+			r.am = newAmortizer(g, opts)
+			if err := r.am.safeBeginRound(par); err != nil {
+				stats.FallbackResets++
+				r.am = nil
+			}
+		}
 	}
 
 	// Split the Rng per class up-front, in class order, so a factory-built
@@ -576,18 +620,46 @@ func (r *Runner) Round(m *graph.Matching, stats *Stats) (graph.Weight, error) {
 		var ac *amortClassCtx
 		if r.am != nil {
 			ac = &r.am.ctxs[i]
+			if ac.quarantined {
+				// A previous fault quarantined this class's amortised
+				// state; it runs the cold path for the rest of the Solve.
+				ac = nil
+			}
 		}
 		perClass[i], perErr[i] = classAugmentations(
 			par, m, weights[i], w.newSolver(rng), w, opts, &perStats[i], ac)
+	}
+	// safeRunClass contains a worker panic: the recovered value is recorded
+	// as a *PanicError for the fallback pass below, and ok = false tells
+	// the caller to discard the worker — its arenas may be mid-mutation.
+	// This is what keeps a panicking solver (or an injected chaos panic)
+	// from killing the process under Workers > 1.
+	safeRunClass := func(w *classWorker, i int) (ok bool) {
+		defer func() {
+			if p := recover(); p != nil {
+				perErr[i] = &PanicError{Class: i, Value: p, Stack: debug.Stack()}
+				ok = false
+			}
+		}()
+		runClass(w, i)
+		return true
 	}
 	// Round-scoped dirty gate: a class whose τ windows contain no crossing
 	// edge this round enumerates zero surviving pairs (the windows hold no
 	// τB candidate at all), so its whole per-class sweep — enumeration,
 	// builds, solves — is skipped without changing the merged result. The
 	// dirty-gate property tests cross-check the skipped set against naive
-	// BucketIndex rebuilds every round.
+	// BucketIndex rebuilds every round. The gate is trusted only while its
+	// bitmap passes the digest self-check; a corrupted bitmap degrades the
+	// round to the full sweep (always safe — running a clean class yields
+	// zero pairs) instead of risking a wrong skip.
+	gateOK := true
+	if r.am != nil && !r.am.inc.DirtyGateOK() {
+		gateOK = false
+		stats.FallbackSweeps++
+	}
 	skipClean := func(i int) bool {
-		if r.am == nil || r.am.inc.RoundDirty(i) {
+		if r.am == nil || !gateOK || r.am.inc.RoundDirty(i) {
 			return false
 		}
 		stats.ClassesSkippedDirty++
@@ -599,7 +671,9 @@ func (r *Runner) Round(m *graph.Matching, stats *Stats) (graph.Weight, error) {
 			if skipClean(i) {
 				continue
 			}
-			runClass(w, i)
+			if !safeRunClass(w, i) {
+				w = newClassWorker(opts)
+			}
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -610,7 +684,9 @@ func (r *Runner) Round(m *graph.Matching, stats *Stats) (graph.Weight, error) {
 				defer wg.Done()
 				w := newClassWorker(opts)
 				for i := range classes {
-					runClass(w, i)
+					if !safeRunClass(w, i) {
+						w = newClassWorker(opts)
+					}
 				}
 			}()
 		}
@@ -622,6 +698,25 @@ func (r *Runner) Round(m *graph.Matching, stats *Stats) (graph.Weight, error) {
 		}
 		close(classes)
 		wg.Wait()
+	}
+
+	// Fallback pass (class rung of the ladder): a recoverable state fault —
+	// a recovered panic or an escaped corruption sentinel — quarantines the
+	// class's amortised state and re-runs the class through the cold path
+	// (naive bucket index, fresh worker arena, replayed class Rng), whose
+	// result is bit-identical to a healthy amortised sweep by the
+	// differential-suite equivalences. A fault that survives the cold
+	// re-run too (e.g. a deterministically panicking installed solver) is
+	// not a state fault and propagates as an error — never a crash.
+	for i := range weights {
+		if perErr[i] == nil || !recoverableFault(perErr[i]) {
+			continue
+		}
+		if r.am != nil {
+			r.am.ctxs[i].quarantined = true
+		}
+		perStats[i] = Stats{FallbackClasses: 1}
+		perClass[i], perErr[i] = r.classFallback(par, m, i, seeds, &perStats[i])
 	}
 
 	// Deterministic merge: class results concatenate in descending-W
@@ -641,6 +736,32 @@ func (r *Runner) Round(m *graph.Matching, stats *Stats) (graph.Weight, error) {
 	stats.Gain += gain
 	stats.Rounds++
 	return gain, nil
+}
+
+// classFallback is the cold re-run of one class after a recoverable fault:
+// a fresh worker arena, the naive bucket index (no amortised context), and
+// the class's replayed Rng stream, contained against a second panic. For
+// the default solver configuration the result is bit-identical to the
+// healthy sweep's; a persistent fault (the re-run failing too) is returned
+// as an error for the caller to surface.
+func (r *Runner) classFallback(
+	par *layered.Parametrized,
+	m *graph.Matching,
+	i int,
+	seeds []int64,
+	st *Stats,
+) (augs []graph.Augmentation, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			augs, err = nil, &PanicError{Class: i, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	w := newClassWorker(r.opts)
+	var rng *rand.Rand
+	if seeds != nil {
+		rng = rand.New(rand.NewSource(seeds[i]))
+	}
+	return classAugmentations(par, m, r.weights[i], w.newSolver(rng), w, r.opts, st, nil)
 }
 
 // FindClassAugmentations is Algorithm 4 as a standalone entry point: it
@@ -702,6 +823,13 @@ func classAugmentations(
 	ac *amortClassCtx,
 ) ([]graph.Augmentation, error) {
 	scratch := cw.scratch
+	// Hazard site (chaos testing): panic at the top of an amortised class
+	// sweep. The pool recovers it, the fallback pass quarantines the class,
+	// and the cold re-run (ac == nil, so this site cannot re-fire) must
+	// reproduce the healthy result bit-for-bit.
+	if ac != nil && faultinject.Fire(faultinject.WorkerPanic) {
+		panic("faultinject: injected worker panic in class sweep")
+	}
 	var ix layered.Index
 	if ac != nil {
 		ix = ac.view
@@ -779,11 +907,19 @@ func classAugmentations(
 				key = ac.view.PairKey(tau, key[:0])
 				keyed = true
 				ac.cacheLooks++
-				if hit, ok := ac.cache.get(key); ok {
+				hit, ok, corrupt := ac.cache.get(key)
+				if ok {
 					ac.cacheHits++
 					stats.CacheHits++
 					cands = append(cands, hit...)
 					continue
+				}
+				if corrupt {
+					// Cache rung of the ladder: the entry failed its
+					// checksum self-check and was evicted; the pair falls
+					// through to a fresh build + solve (and re-puts a
+					// healthy entry below).
+					stats.FallbackCacheDrops++
 				}
 				if gate := cacheGate(opts); gate > 0 && ac.cacheHits == 0 && ac.cacheLooks >= gate {
 					ac.cacheOff = true
@@ -800,6 +936,11 @@ func classAugmentations(
 				lay = dl
 				stats.DeltaBuilds++
 				stats.DeltaLayersReused += reusedSegs
+			} else {
+				// Build rung of the ladder: a rejected baseline (ErrDelta*,
+				// real or injected) degrades to the from-scratch build
+				// below — bit-identical by construction, never an error.
+				stats.FallbackBuilds++
 			}
 		}
 		if lay == nil {

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestCountingSourceReplay pins the property the whole Rng-persistence
+// story rests on: math/rand's seeded source advances exactly one internal
+// step per Int63 or Uint64 call, so a replay that burns the recorded draw
+// count with Uint64 alone lands in the identical state no matter which mix
+// of calls produced the count.
+func TestCountingSourceReplay(t *testing.T) {
+	const seed = 42
+	cs := NewCountingSource(seed)
+	rng := rand.New(cs)
+	// A deliberately mixed draw history, as the driver produces (Intn for
+	// bipartitions, Int63 for factory seeds, Float64 internally).
+	for i := 0; i < 57; i++ {
+		switch i % 4 {
+		case 0:
+			rng.Int63()
+		case 1:
+			rng.Intn(97)
+		case 2:
+			rng.Uint64()
+		default:
+			rng.Float64()
+		}
+	}
+	draws := cs.Draws()
+	if draws == 0 {
+		t.Fatal("no draws counted")
+	}
+	replay := rand.New(ReplayCountingSource(seed, draws))
+	for i := 0; i < 32; i++ {
+		if a, b := rng.Int63(), replay.Int63(); a != b {
+			t.Fatalf("draw %d after replay: %d vs %d", i, a, b)
+		}
+	}
+}
+
+// TestCountingSourceTransparent: wrapping the source must not change the
+// stream — a checkpointed run and a plain run share every random decision.
+func TestCountingSourceTransparent(t *testing.T) {
+	a := rand.New(NewCountingSource(7))
+	b := rand.New(rand.NewSource(7))
+	for i := 0; i < 64; i++ {
+		if x, y := a.Int63(), b.Int63(); x != y {
+			t.Fatalf("draw %d: counting %d vs plain %d", i, x, y)
+		}
+	}
+}
+
+func snapshotTestInstance(t *testing.T) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1234))
+	return graph.RandomGraph(60, 200, 64, rng).G
+}
+
+func snapshotTestOptions() Options {
+	return Options{Amortize: true, MaxRounds: 12, Patience: 4}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	g := snapshotTestInstance(t)
+	m := graph.NewMatching(g.N())
+	if err := m.Add(g.Edges()[0]); err != nil {
+		t.Fatal(err)
+	}
+	cp := &Checkpoint{
+		Graph: g, M: m,
+		Round: 5, Stalled: 2,
+		Stats:   Stats{Rounds: 5, SolverCalls: 321, FallbackSolves: 2, Gain: 777},
+		RngSeed: -9, RngDraws: 12345,
+		Meta: metaOf(snapshotTestOptions()),
+	}
+	dec, err := DecodeCheckpoint(EncodeCheckpoint(cp))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dec.Round != cp.Round || dec.Stalled != cp.Stalled ||
+		dec.RngSeed != cp.RngSeed || dec.RngDraws != cp.RngDraws {
+		t.Fatalf("driver state %+v, want %+v", dec, cp)
+	}
+	if dec.Stats != cp.Stats {
+		t.Fatalf("stats %+v, want %+v", dec.Stats, cp.Stats)
+	}
+	if dec.Meta != cp.Meta {
+		t.Fatalf("meta %+v, want %+v", dec.Meta, cp.Meta)
+	}
+	if dec.Graph.N() != g.N() || dec.Graph.M() != g.M() {
+		t.Fatalf("graph %d/%d, want %d/%d", dec.Graph.N(), dec.Graph.M(), g.N(), g.M())
+	}
+	if !equalMatchings(dec.M, m) {
+		t.Fatal("matching changed across the round trip")
+	}
+}
+
+func equalMatchings(a, b *graph.Matching) bool {
+	if a.N() != b.N() || a.Size() != b.Size() || a.Weight() != b.Weight() {
+		return false
+	}
+	for v := 0; v < a.N(); v++ {
+		if a.Mate(v) != b.Mate(v) || a.EdgeWeightAt(v) != b.EdgeWeightAt(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSolveCheckpointedMatchesSolve: threading the Rng through the counting
+// source and saving checkpoints is free of behaviour change — matching and
+// stats equal a plain Solve on the same seed.
+func TestSolveCheckpointedMatchesSolve(t *testing.T) {
+	g := snapshotTestInstance(t)
+	const seed = 5
+	opts := snapshotTestOptions()
+
+	plain := opts
+	plain.Rng = rand.New(rand.NewSource(seed))
+	want, err := Solve(g, nil, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	saves := 0
+	got, err := SolveCheckpointed(g, nil, opts, seed, func(cp *Checkpoint) error {
+		saves++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saves == 0 {
+		t.Fatal("save callback never ran")
+	}
+	if !equalMatchings(got.M, want.M) {
+		t.Fatalf("checkpointed matching differs: weight %d vs %d", got.M.Weight(), want.M.Weight())
+	}
+	if got.Stats != want.Stats {
+		t.Fatalf("checkpointed stats differ:\n got %+v\nwant %+v", got.Stats, want.Stats)
+	}
+}
+
+// TestKillResumeBitIdentical is the headline snapshot property: kill a
+// Solve after any round, decode the bytes it last persisted, resume in a
+// "new process", and the final matching and stats are bit-identical to the
+// uninterrupted run — warm in the sense that completed rounds are not
+// re-run (the resumed stats count each round exactly once).
+func TestKillResumeBitIdentical(t *testing.T) {
+	g := snapshotTestInstance(t)
+	const seed = 11
+	opts := snapshotTestOptions()
+
+	full, err := SolveCheckpointed(g, nil, opts, seed, func(*Checkpoint) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.Rounds < 3 {
+		t.Fatalf("test instance converged in %d rounds; need 3+ for a mid-run kill", full.Stats.Rounds)
+	}
+
+	for _, killAfter := range []int{1, 2, full.Stats.Rounds - 1} {
+		var persisted []byte
+		_, err := SolveCheckpointed(g, nil, opts, seed, func(cp *Checkpoint) error {
+			if cp.Round <= killAfter {
+				persisted = EncodeCheckpoint(cp)
+			}
+			if cp.Round == killAfter {
+				return errors.New("killed")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("killAfter=%d: run was not killed", killAfter)
+		}
+
+		cp, err := DecodeCheckpoint(persisted)
+		if err != nil {
+			t.Fatalf("killAfter=%d: decode: %v", killAfter, err)
+		}
+		resumed, err := ResumeSolve(cp, opts, nil)
+		if err != nil {
+			t.Fatalf("killAfter=%d: resume: %v", killAfter, err)
+		}
+		if !equalMatchings(resumed.M, full.M) {
+			t.Fatalf("killAfter=%d: resumed matching differs: weight %d vs %d",
+				killAfter, resumed.M.Weight(), full.M.Weight())
+		}
+		if resumed.Stats != full.Stats {
+			t.Fatalf("killAfter=%d: resumed stats differ:\n got %+v\nwant %+v",
+				killAfter, resumed.Stats, full.Stats)
+		}
+	}
+}
+
+// TestResumeRejectsForeignOptions: a checkpoint only resumes under the
+// configuration it was taken with (Workers excepted — results are
+// worker-count invariant, so the pool may be rescaled).
+func TestResumeRejectsForeignOptions(t *testing.T) {
+	g := snapshotTestInstance(t)
+	opts := snapshotTestOptions()
+	var persisted []byte
+	_, err := SolveCheckpointed(g, nil, opts, 3, func(cp *Checkpoint) error {
+		persisted = EncodeCheckpoint(cp)
+		return errors.New("stop after first round")
+	})
+	if err == nil {
+		t.Fatal("run was not stopped")
+	}
+	cp, err := DecodeCheckpoint(persisted)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	foreign := opts
+	foreign.ClassBase = 3
+	if _, err := ResumeSolve(cp, foreign, nil); !errors.Is(err, ErrCheckpointOptions) {
+		t.Fatalf("foreign options: err = %v, want ErrCheckpointOptions", err)
+	}
+
+	rescaled := opts
+	rescaled.Workers = 4
+	if _, err := ResumeSolve(cp, rescaled, nil); err != nil {
+		t.Fatalf("rescaled workers: %v", err)
+	}
+}
+
+// TestCorruptCheckpointRejected: any single flipped byte in a persisted
+// checkpoint is caught (the container checksum), so a damaged snapshot can
+// only ever degrade a restart to cold — never resume into wrong state.
+func TestCorruptCheckpointRejected(t *testing.T) {
+	g := snapshotTestInstance(t)
+	opts := snapshotTestOptions()
+	var persisted []byte
+	SolveCheckpointed(g, nil, opts, 3, func(cp *Checkpoint) error {
+		persisted = EncodeCheckpoint(cp)
+		return errors.New("stop")
+	})
+	if persisted == nil {
+		t.Fatal("no checkpoint persisted")
+	}
+	step := len(persisted)/97 + 1
+	for i := 0; i < len(persisted); i += step {
+		mut := append([]byte(nil), persisted...)
+		mut[i] ^= 0x20
+		if _, err := DecodeCheckpoint(mut); err == nil {
+			t.Fatalf("flip at byte %d/%d decoded cleanly", i, len(persisted))
+		}
+	}
+}
+
+// TestSaveLoadCheckpointFile covers the file wrappers, including the
+// atomic-replace path and load-time verification.
+func TestSaveLoadCheckpointFile(t *testing.T) {
+	g := snapshotTestInstance(t)
+	path := filepath.Join(t.TempDir(), "solve.snap")
+	cp := &Checkpoint{
+		Graph: g, M: graph.NewMatching(g.N()),
+		Round: 1, RngSeed: 2, RngDraws: 3,
+		Meta: metaOf(snapshotTestOptions()),
+	}
+	if err := SaveCheckpoint(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpoint(path, cp); err != nil { // overwrite via rename
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 1 || got.RngSeed != 2 || got.RngDraws != 3 {
+		t.Fatalf("loaded %+v", got)
+	}
+
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("truncated file loaded cleanly")
+	}
+}

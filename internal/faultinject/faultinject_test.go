@@ -1,0 +1,114 @@
+package faultinject
+
+import "testing"
+
+// TestDeterministicSchedule pins the injector's core contract: the same
+// (seed, rate) replays the same per-site fire schedule, call for call.
+func TestDeterministicSchedule(t *testing.T) {
+	const n = 10_000
+	for _, rate := range []float64{0.01, 0.1, 0.5} {
+		a, b := New(7, rate), New(7, rate)
+		for _, s := range Sites() {
+			for i := 0; i < n; i++ {
+				if a.fire(s) != b.fire(s) {
+					t.Fatalf("rate %v site %v call %d: schedules diverge", rate, s, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRateIsApproximate checks the fired fraction lands near the configured
+// rate (the hash is uniform, so 10k draws bound the error tightly), and
+// that distinct seeds produce distinct schedules.
+func TestRateIsApproximate(t *testing.T) {
+	const n = 10_000
+	for _, rate := range []float64{0.01, 0.1} {
+		in := New(1, rate)
+		for i := 0; i < n; i++ {
+			in.fire(DeltaStale)
+		}
+		got := float64(in.Fired(DeltaStale)) / n
+		if got < rate/2 || got > rate*2 {
+			t.Fatalf("rate %v: fired fraction %v out of band", rate, got)
+		}
+	}
+	a, b := New(1, 0.5), New(2, 0.5)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.fire(CacheDigest) == b.fire(CacheDigest) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+// TestRateExtremes: rate 0 never fires, rate 1 always fires, and malformed
+// rates clamp to never.
+func TestRateExtremes(t *testing.T) {
+	never := New(3, 0)
+	always := New(3, 1)
+	nan := New(3, -5)
+	for i := 0; i < 1000; i++ {
+		if never.fire(WorkerPanic) {
+			t.Fatal("rate 0 fired")
+		}
+		if !always.fire(WorkerPanic) {
+			t.Fatal("rate 1 did not fire")
+		}
+		if nan.fire(WorkerPanic) {
+			t.Fatal("negative rate fired")
+		}
+	}
+	if got := always.FiredTotal(); got != 1000 {
+		t.Fatalf("FiredTotal = %d, want 1000", got)
+	}
+	if got := always.Calls(WorkerPanic); got != 1000 {
+		t.Fatalf("Calls = %d, want 1000", got)
+	}
+}
+
+// TestGlobalActivation: Fire is inert without an injector and routes to the
+// active one with it.
+func TestGlobalActivation(t *testing.T) {
+	if Enabled() {
+		t.Fatal("injector active at test start")
+	}
+	if Fire(DeltaStale) {
+		t.Fatal("inert Fire fired")
+	}
+	in := New(1, 1)
+	Activate(in)
+	defer Deactivate()
+	if !Enabled() {
+		t.Fatal("Enabled false after Activate")
+	}
+	if !Fire(DeltaStale) {
+		t.Fatal("rate-1 global Fire did not fire")
+	}
+	Deactivate()
+	if Fire(DeltaStale) {
+		t.Fatal("Fire fired after Deactivate")
+	}
+	if in.Fired(DeltaStale) != 1 {
+		t.Fatalf("Fired = %d, want 1", in.Fired(DeltaStale))
+	}
+}
+
+// TestSiteNames: every site has a distinct printable name (the chaos
+// reports key on them).
+func TestSiteNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Sites() {
+		name := s.String()
+		if name == "" || seen[name] {
+			t.Fatalf("site %d: bad or duplicate name %q", s, name)
+		}
+		seen[name] = true
+	}
+	if Site(200).String() != "site-200" {
+		t.Fatalf("out-of-range site name = %q", Site(200).String())
+	}
+}

@@ -1,0 +1,236 @@
+package graph
+
+// Snapshot container: the repository's one persistent-state format. A
+// snapshot is a magic header, a format version, a list of named binary
+// sections, and a CRC64-ECMA trailer over everything that precedes it.
+// Sections keep the container schema-free — each subsystem owns its
+// sections' encodings (internal/core composes graph, matching, driver and
+// stats sections into a solve checkpoint) — while the container guarantees
+// the robustness properties every consumer needs: a truncated file, a
+// flipped bit anywhere, or a future-version file is detected and reported
+// as an error, never parsed into wrong state. CRC64 detects every
+// single-bit and single-byte error outright (and longer burst errors up to
+// its design bound), which is what lets the error-path tests demand "flip
+// any byte → error" rather than sampling.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+)
+
+// snapshotMagic opens every snapshot; the trailing NUL keeps it from ever
+// prefixing the text edge-list format ("p <n> <m>").
+var snapshotMagic = [8]byte{'A', 'U', 'G', 'S', 'N', 'A', 'P', 0}
+
+var snapshotCRC = crc64.MakeTable(crc64.ECMA)
+
+// Snapshot error conditions. All of them mean the bytes must not be
+// trusted; callers degrade (typically to a cold start) instead of parsing.
+var (
+	// ErrSnapshotMagic: the bytes do not start with the snapshot magic —
+	// not a snapshot at all, or one whose header was damaged.
+	ErrSnapshotMagic = errors.New("graph: not a snapshot (bad magic)")
+	// ErrSnapshotTruncated: the bytes end before the declared structure
+	// does (an interrupted write, a partial copy).
+	ErrSnapshotTruncated = errors.New("graph: snapshot truncated")
+	// ErrSnapshotChecksum: the CRC64 trailer does not match the content —
+	// at least one bit of the file changed since it was written.
+	ErrSnapshotChecksum = errors.New("graph: snapshot checksum mismatch")
+	// ErrSnapshotVersion: the format version is newer than this reader —
+	// written by a later build; refuse rather than guess at the layout.
+	ErrSnapshotVersion = errors.New("graph: unsupported snapshot version")
+	// ErrSnapshotSection: a section payload does not decode under its
+	// declared schema (only reachable on checksum-valid bytes, i.e. a
+	// buggy or adversarial writer, not in-flight corruption).
+	ErrSnapshotSection = errors.New("graph: malformed snapshot section")
+)
+
+// SnapshotSection is one named payload of a snapshot. Names are short ASCII
+// identifiers owned by the writer; the container imposes no schema on Data.
+type SnapshotSection struct {
+	Name string
+	Data []byte
+}
+
+// FindSection returns the payload of the first section with the given name.
+func FindSection(sections []SnapshotSection, name string) ([]byte, bool) {
+	for _, s := range sections {
+		if s.Name == name {
+			return s.Data, true
+		}
+	}
+	return nil, false
+}
+
+// snapshot layout bounds: sanity limits that keep a checksum-valid but
+// hostile header from driving huge allocations.
+const (
+	maxSnapshotSections = 1 << 10
+	maxSectionName      = 1 << 6
+)
+
+// EncodeSnapshot serialises sections under the given format version:
+// magic, version, section count, each section as (name length, name, data
+// length, data), then the CRC64-ECMA of all preceding bytes. All integers
+// are little-endian and fixed-width.
+func EncodeSnapshot(version uint32, sections []SnapshotSection) []byte {
+	size := len(snapshotMagic) + 4 + 4 + 8
+	for _, s := range sections {
+		size += 4 + len(s.Name) + 8 + len(s.Data)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, snapshotMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sections)))
+	for _, s := range sections {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Name)))
+		buf = append(buf, s.Name...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.Data)))
+		buf = append(buf, s.Data...)
+	}
+	return binary.LittleEndian.AppendUint64(buf, crc64.Checksum(buf, snapshotCRC))
+}
+
+// DecodeSnapshot parses and verifies a snapshot: magic, then checksum over
+// the whole body, then structure. maxVersion is the newest format version
+// the caller understands; a snapshot declaring a higher one is rejected
+// with ErrSnapshotVersion (version skew), since its sections may follow a
+// layout this reader predates. The returned section payloads alias data.
+func DecodeSnapshot(data []byte, maxVersion uint32) (version uint32, sections []SnapshotSection, err error) {
+	header := len(snapshotMagic) + 4 + 4
+	if len(data) < len(snapshotMagic) || string(data[:len(snapshotMagic)]) != string(snapshotMagic[:]) {
+		return 0, nil, ErrSnapshotMagic
+	}
+	if len(data) < header+8 {
+		return 0, nil, ErrSnapshotTruncated
+	}
+	body, trailer := data[:len(data)-8], data[len(data)-8:]
+	if crc64.Checksum(body, snapshotCRC) != binary.LittleEndian.Uint64(trailer) {
+		return 0, nil, ErrSnapshotChecksum
+	}
+	version = binary.LittleEndian.Uint32(data[len(snapshotMagic):])
+	if version > maxVersion {
+		return 0, nil, fmt.Errorf("%w: snapshot v%d, reader caps at v%d", ErrSnapshotVersion, version, maxVersion)
+	}
+	nsect := binary.LittleEndian.Uint32(data[len(snapshotMagic)+4:])
+	if nsect > maxSnapshotSections {
+		return 0, nil, fmt.Errorf("%w: %d sections exceeds the container bound", ErrSnapshotSection, nsect)
+	}
+	rest := body[header:]
+	sections = make([]SnapshotSection, 0, nsect)
+	for i := uint32(0); i < nsect; i++ {
+		if len(rest) < 4 {
+			return 0, nil, ErrSnapshotTruncated
+		}
+		nameLen := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if nameLen > maxSectionName {
+			return 0, nil, fmt.Errorf("%w: section name of %d bytes", ErrSnapshotSection, nameLen)
+		}
+		if uint32(len(rest)) < nameLen+8 {
+			return 0, nil, ErrSnapshotTruncated
+		}
+		name := string(rest[:nameLen])
+		dataLen := binary.LittleEndian.Uint64(rest[nameLen:])
+		rest = rest[nameLen+8:]
+		if uint64(len(rest)) < dataLen {
+			return 0, nil, ErrSnapshotTruncated
+		}
+		sections = append(sections, SnapshotSection{Name: name, Data: rest[:dataLen]})
+		rest = rest[dataLen:]
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d bytes after the last section", ErrSnapshotSection, len(rest))
+	}
+	return version, sections, nil
+}
+
+// EncodeGraphSection serialises g as a snapshot section payload: vertex
+// count, edge count, then each edge as (U, V, W) fixed-width little-endian.
+func EncodeGraphSection(g *Graph) []byte {
+	buf := make([]byte, 0, 8+16*g.M())
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.N()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.M()))
+	for _, e := range g.Edges() {
+		buf = appendEdge(buf, e)
+	}
+	return buf
+}
+
+// DecodeGraphSection rebuilds a graph from EncodeGraphSection's payload,
+// re-validating every edge (range, self-loop, weight) on the way in.
+func DecodeGraphSection(data []byte) (*Graph, error) {
+	n, edges, err := decodeEdgeList(data, "graph")
+	if err != nil {
+		return nil, err
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotSection, err)
+	}
+	return g, nil
+}
+
+// EncodeMatchingSection serialises m as a snapshot section payload: vertex
+// count, matched-edge count, then the matched edges as (U, V, W).
+func EncodeMatchingSection(m *Matching) []byte {
+	edges := m.Edges()
+	buf := make([]byte, 0, 8+16*len(edges))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.N()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(edges)))
+	for _, e := range edges {
+		buf = appendEdge(buf, e)
+	}
+	return buf
+}
+
+// DecodeMatchingSection rebuilds a matching from EncodeMatchingSection's
+// payload, re-validating vertex ranges and disjointness on the way in.
+func DecodeMatchingSection(data []byte) (*Matching, error) {
+	n, edges, err := decodeEdgeList(data, "matching")
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("%w: matching edge %v outside n=%d", ErrSnapshotSection, e, n)
+		}
+	}
+	m, err := MatchingFromEdges(n, edges)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotSection, err)
+	}
+	return m, nil
+}
+
+func appendEdge(buf []byte, e Edge) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.U))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.V))
+	return binary.LittleEndian.AppendUint64(buf, uint64(e.W))
+}
+
+// decodeEdgeList parses the shared (n, count, edges...) payload layout of
+// the graph and matching sections.
+func decodeEdgeList(data []byte, what string) (n int, edges []Edge, err error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("%w: %s header short", ErrSnapshotSection, what)
+	}
+	n = int(int32(binary.LittleEndian.Uint32(data)))
+	count := binary.LittleEndian.Uint32(data[4:])
+	rest := data[8:]
+	if n < 0 || uint64(len(rest)) != 16*uint64(count) {
+		return 0, nil, fmt.Errorf("%w: %s declares %d edges over %d payload bytes", ErrSnapshotSection, what, count, len(rest))
+	}
+	edges = make([]Edge, count)
+	for i := range edges {
+		edges[i] = Edge{
+			U: int(int32(binary.LittleEndian.Uint32(rest))),
+			V: int(int32(binary.LittleEndian.Uint32(rest[4:]))),
+			W: Weight(binary.LittleEndian.Uint64(rest[8:])),
+		}
+		rest = rest[16:]
+	}
+	return n, edges, nil
+}

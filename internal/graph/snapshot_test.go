@@ -1,0 +1,208 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// sampleSections is a small but representative snapshot body: an empty
+// section, a binary section, and a text section.
+func sampleSections() []SnapshotSection {
+	return []SnapshotSection{
+		{Name: "empty", Data: nil},
+		{Name: "bin", Data: []byte{0, 1, 2, 0xff, 0xfe, 7}},
+		{Name: "text", Data: []byte("round=3\nstalled=0\n")},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	enc := EncodeSnapshot(3, sampleSections())
+	version, sections, err := DecodeSnapshot(enc, 3)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if version != 3 {
+		t.Fatalf("version = %d, want 3", version)
+	}
+	want := sampleSections()
+	if len(sections) != len(want) {
+		t.Fatalf("got %d sections, want %d", len(sections), len(want))
+	}
+	for i, s := range sections {
+		if s.Name != want[i].Name || !bytes.Equal(s.Data, want[i].Data) {
+			t.Errorf("section %d = %q/%v, want %q/%v", i, s.Name, s.Data, want[i].Name, want[i].Data)
+		}
+	}
+	if _, ok := FindSection(sections, "text"); !ok {
+		t.Errorf("FindSection(text) missed")
+	}
+	if _, ok := FindSection(sections, "absent"); ok {
+		t.Errorf("FindSection(absent) hit")
+	}
+}
+
+// TestSnapshotDetectsEveryByteFlip is the CRC64 guarantee made concrete:
+// flipping any single byte anywhere in the file — header, section table,
+// payload, trailer — must turn decoding into an error, never into silently
+// different state.
+func TestSnapshotDetectsEveryByteFlip(t *testing.T) {
+	enc := EncodeSnapshot(1, sampleSections())
+	for i := range enc {
+		for _, flip := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), enc...)
+			mut[i] ^= flip
+			if _, _, err := DecodeSnapshot(mut, 1); err == nil {
+				t.Fatalf("flip 0x%02x at byte %d/%d decoded cleanly", flip, i, len(enc))
+			}
+		}
+	}
+}
+
+// TestSnapshotDetectsEveryTruncation: every proper prefix must be rejected
+// (an interrupted write can stop anywhere).
+func TestSnapshotDetectsEveryTruncation(t *testing.T) {
+	enc := EncodeSnapshot(1, sampleSections())
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := DecodeSnapshot(enc[:i], 1); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded cleanly", i, len(enc))
+		}
+	}
+}
+
+func TestSnapshotVersionSkew(t *testing.T) {
+	enc := EncodeSnapshot(2, sampleSections())
+	if _, _, err := DecodeSnapshot(enc, 1); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("decoding v2 with a v1 reader: err = %v, want ErrSnapshotVersion", err)
+	}
+	if _, _, err := DecodeSnapshot(enc, 2); err != nil {
+		t.Fatalf("decoding v2 with a v2 reader: %v", err)
+	}
+	// Older versions stay readable: the reader cap is a ceiling, not a pin.
+	old := EncodeSnapshot(1, sampleSections())
+	if _, _, err := DecodeSnapshot(old, 2); err != nil {
+		t.Fatalf("decoding v1 with a v2 reader: %v", err)
+	}
+}
+
+func TestSnapshotErrorTaxonomy(t *testing.T) {
+	enc := EncodeSnapshot(1, sampleSections())
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrSnapshotMagic},
+		{"text file", []byte("p 4 2\n0 1 5\n2 3 7\n"), ErrSnapshotMagic},
+		{"magic only", enc[:8], ErrSnapshotTruncated},
+		// With the trailer cut off, the last 8 content bytes are read as the
+		// trailer and cannot match the shifted window: reported as checksum.
+		{"missing trailer", enc[:len(enc)-8], ErrSnapshotChecksum},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeSnapshot(tc.data, 1); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// A payload flip specifically reports the checksum (structure intact).
+	mut := append([]byte(nil), enc...)
+	mut[len(mut)-12] ^= 0x40
+	if _, _, err := DecodeSnapshot(mut, 1); !errors.Is(err, ErrSnapshotChecksum) {
+		t.Errorf("payload flip: err = %v, want ErrSnapshotChecksum", err)
+	}
+}
+
+func TestGraphSectionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := RandomGraph(40, 120, 50, rng).G
+	dec, err := DecodeGraphSection(EncodeGraphSection(g))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dec.N() != g.N() || dec.M() != g.M() {
+		t.Fatalf("decoded %d/%d, want %d/%d", dec.N(), dec.M(), g.N(), g.M())
+	}
+	for i, e := range dec.Edges() {
+		if e != g.Edges()[i] {
+			t.Fatalf("edge %d = %v, want %v", i, e, g.Edges()[i])
+		}
+	}
+}
+
+func TestMatchingSectionRoundTrip(t *testing.T) {
+	m := NewMatching(6)
+	mustAdd(m, Edge{U: 0, V: 3, W: 5})
+	mustAdd(m, Edge{U: 1, V: 2, W: 9})
+	dec, err := DecodeMatchingSection(EncodeMatchingSection(m))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dec.N() != m.N() || dec.Size() != m.Size() || dec.Weight() != m.Weight() {
+		t.Fatalf("decoded n=%d size=%d w=%d, want n=%d size=%d w=%d",
+			dec.N(), dec.Size(), dec.Weight(), m.N(), m.Size(), m.Weight())
+	}
+	if err := dec.Validate(); err != nil {
+		t.Fatalf("decoded matching invalid: %v", err)
+	}
+}
+
+// TestSectionRejectsInvalidPayloads: checksum-valid bytes still re-validate
+// semantically — a hand-crafted section cannot smuggle in an illegal graph
+// or matching.
+func TestSectionRejectsInvalidPayloads(t *testing.T) {
+	selfLoop := append([]byte(nil), EncodeGraphSection(New(4))...)
+	// Rewrite header to declare 1 edge and append a self loop 2-2.
+	selfLoop[4] = 1
+	selfLoop = append(selfLoop, 2, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0)
+	if _, err := DecodeGraphSection(selfLoop); !errors.Is(err, ErrSnapshotSection) {
+		t.Errorf("self-loop graph: err = %v, want ErrSnapshotSection", err)
+	}
+
+	m := NewMatching(4)
+	mustAdd(m, Edge{U: 0, V: 1, W: 2})
+	enc := EncodeMatchingSection(m)
+	outOfRange := append([]byte(nil), enc...)
+	outOfRange[8] = 9 // edge endpoint 9 over n=4
+	if _, err := DecodeMatchingSection(outOfRange); !errors.Is(err, ErrSnapshotSection) {
+		t.Errorf("out-of-range matching: err = %v, want ErrSnapshotSection", err)
+	}
+	short := enc[:len(enc)-4]
+	if _, err := DecodeMatchingSection(short); !errors.Is(err, ErrSnapshotSection) {
+		t.Errorf("short matching payload: err = %v, want ErrSnapshotSection", err)
+	}
+}
+
+// FuzzSnapshotRoundTrip drives DecodeSnapshot over arbitrary bytes: it must
+// never panic, and any input it accepts must re-encode to an equivalent
+// snapshot that decodes to the same sections (the container is closed under
+// its own round trip).
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("p 4 2\n0 1 5\n2 3 7\n"))
+	f.Add(EncodeSnapshot(1, nil))
+	f.Add(EncodeSnapshot(1, sampleSections()))
+	f.Add(EncodeSnapshot(7, []SnapshotSection{{Name: "graph", Data: EncodeGraphSection(New(3))}}))
+	trunc := EncodeSnapshot(1, sampleSections())
+	f.Add(trunc[:len(trunc)-3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		version, sections, err := DecodeSnapshot(data, 1<<31)
+		if err != nil {
+			return
+		}
+		re := EncodeSnapshot(version, sections)
+		version2, sections2, err := DecodeSnapshot(re, 1<<31)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot rejected: %v", err)
+		}
+		if version2 != version || len(sections2) != len(sections) {
+			t.Fatalf("round trip changed shape: v%d/%d sections vs v%d/%d",
+				version, len(sections), version2, len(sections2))
+		}
+		for i := range sections {
+			if sections[i].Name != sections2[i].Name || !bytes.Equal(sections[i].Data, sections2[i].Data) {
+				t.Fatalf("round trip changed section %d", i)
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package layered
 import (
 	"errors"
 
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 )
 
@@ -109,6 +110,11 @@ type DeltaInfo struct {
 func BuildDelta(ix Index, prev *Layered, tau TauPair, s *Scratch, cutover int) (l *Layered, reused int, err error) {
 	if prev == nil || s == nil {
 		return nil, 0, ErrDeltaNoBase
+	}
+	// Hazard site (chaos testing): report the baseline stale before any
+	// arena state is touched, exactly as a real staleness check would.
+	if faultinject.Fire(faultinject.DeltaStale) {
+		return nil, 0, ErrDeltaStale
 	}
 	if prev.scratch == nil {
 		return nil, 0, ErrDeltaDetached

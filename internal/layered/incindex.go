@@ -3,6 +3,7 @@ package layered
 import (
 	"math"
 
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 )
 
@@ -83,6 +84,7 @@ type IncIndex struct {
 	// pairs, so core.Runner skips them wholesale (Stats.ClassesSkippedDirty).
 	dirty    []bool
 	dirtyCnt int
+	dirtySum uint64  // digest over (stamp, dirty[]) sealed by BeginRound
 	dDiff    []int32 // class-range diff array for the dirty marking
 	crossB   []int32 // crossing unmatched live edge indices, one round pass
 	cntStamp []uint32
@@ -397,7 +399,53 @@ func (x *IncIndex) BeginRound(par *Parametrized) {
 		}
 		x.aMask[c], x.bMask[c] = aMask, bMask
 	}
+
+	// Seal the dirty bitmap under a digest: DirtyGateOK re-derives it, so
+	// any corruption of the bitmap between here and the skip decisions is
+	// detected and the round degrades to a full sweep instead of skipping a
+	// class whose windows do hold crossing edges. The masks above were
+	// computed before the seal, so a post-seal flip can only change skip
+	// decisions, never bucket contents.
+	x.dirtySum = x.dirtyDigest()
+
+	// Hazard site (chaos testing): flip the first dirty class's bit to
+	// clean — the dangerous direction, a skip that would silently lose that
+	// class's augmentations if the digest did not catch it. With no dirty
+	// class, flip class 0 to dirty instead (running a clean class is
+	// provably harmless, but the digest must still detect the corruption).
+	if faultinject.Fire(faultinject.DirtyGate) && len(x.dirty) > 0 {
+		flip := 0
+		for c, d := range x.dirty {
+			if d {
+				flip = c
+				break
+			}
+		}
+		x.dirty[flip] = !x.dirty[flip]
+	}
 }
+
+// dirtyDigest hashes the round stamp and the dirty bitmap (FNV-1a).
+func (x *IncIndex) dirtyDigest() uint64 {
+	h := uint64(14695981039346656037)
+	h = (h ^ uint64(x.stamp)) * 1099511628211
+	for _, d := range x.dirty {
+		b := uint64(0)
+		if d {
+			b = 1
+		}
+		h = (h ^ b) * 1099511628211
+	}
+	return h
+}
+
+// DirtyGateOK re-derives the dirty-bitmap digest sealed by BeginRound and
+// compares it: false means the bitmap was corrupted after round setup (or
+// BeginRound never ran this round) and no skip decision may be trusted —
+// the caller must run the full class sweep, which is always safe (a clean
+// class enumerates zero pairs; see RoundDirty). core.Runner checks it once
+// per round and counts distrusted rounds in Stats.FallbackSweeps.
+func (x *IncIndex) DirtyGateOK() bool { return x.dirtyDigest() == x.dirtySum }
 
 // RoundDirty reports whether class c's τ windows contain any crossing edge
 // in the current round. A clean class provably enumerates zero surviving

@@ -1,0 +1,76 @@
+package solvertest
+
+// Chaos net over the degradation ladder: the differential suite's
+// bit-identity assertions re-run with deterministic fault injection
+// (internal/faultinject) active on the amortised run. Every injected fault
+// — stale delta baselines, corrupted repair descriptors, flipped cache
+// digests, dirty-gate bitmap damage, worker panics — must be absorbed by a
+// ladder rung: the run may not error, may not crash, and must still
+// produce the naive reference's bit-identical matching every round (the
+// fallbacks re-run the damaged unit through the cold path, which is
+// bit-identical by the differential-suite equivalences). The injection
+// sites live exclusively on amortised fast paths, so the naive reference
+// runner is injection-free by construction even while the injector is
+// globally active; the harness still scopes activation to the chaos
+// runner's rounds as belt and braces.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+)
+
+// AssertChaosBitIdentical drives the reference options (injection-free)
+// and the chaos options (with inj active during its rounds) round-by-round
+// on w, failing on the first error, panic, or diverging matching. It
+// returns both runs' stats so callers can gate on the Fallback* counters.
+func AssertChaosBitIdentical(t *testing.T, w Workload, ref, chaos core.Options, seed int64, rounds int, inj *faultinject.Injector) (core.Stats, core.Stats) {
+	t.Helper()
+	defer faultinject.Deactivate()
+
+	ref.Rng = rand.New(rand.NewSource(seed))
+	chaos.Rng = rand.New(rand.NewSource(seed))
+	mR, mC := w.cloneInitial(), w.cloneInitial()
+	rR := core.NewRunner(w.G, ref)
+	rC := core.NewRunner(w.G, chaos)
+	var sR, sC core.Stats
+	for round := 0; round < rounds; round++ {
+		gainR, err := rR.Round(mR, &sR)
+		if err != nil {
+			t.Fatalf("%s round %d (reference): %v", w.Name, round, err)
+		}
+		faultinject.Activate(inj)
+		gainC, err := chaosRound(rC, &sC, mC)
+		faultinject.Deactivate()
+		if err != nil {
+			t.Fatalf("%s round %d (chaos): Solve must absorb injected faults, got %v", w.Name, round, err)
+		}
+		if gainR != gainC {
+			t.Fatalf("%s round %d: gain %d (reference) vs %d (chaos)", w.Name, round, gainR, gainC)
+		}
+		if err := equalMatchings(mR, mC); err != nil {
+			t.Fatalf("%s round %d: %v", w.Name, round, err)
+		}
+		if err := mC.Validate(); err != nil {
+			t.Fatalf("%s round %d: invalid chaos matching: %v", w.Name, round, err)
+		}
+	}
+	return sR, sC
+}
+
+// chaosRound runs one round of the chaos runner, converting an escaped
+// panic into an error so the assertion failure names the workload and
+// round instead of killing the test binary. (The ladder's contract is that
+// no panic escapes Round; this recover is the net that reports a breach.)
+func chaosRound(r *core.Runner, stats *core.Stats, m *graph.Matching) (gain graph.Weight, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			gain, err = 0, fmt.Errorf("panic escaped Round: %v", p)
+		}
+	}()
+	return r.Round(m, stats)
+}

@@ -23,6 +23,7 @@
 package repro
 
 import (
+	"errors"
 	"io"
 	"math/rand"
 
@@ -208,6 +209,73 @@ type ApproxResult struct {
 func ApproxWeighted(g *Graph, initial *Matching, opts ApproxOptions) (ApproxResult, error) {
 	res, err := core.Solve(g, initial, opts.coreOptions())
 	return ApproxResult{M: res.M, Stats: res.Stats}, err
+}
+
+// SnapshotInfo reports how a snapshotted run started (see
+// ApproxWeightedSnapshot): warm from a checkpoint, or cold and why.
+type SnapshotInfo struct {
+	// Resumed is true when the run picked up from a verified checkpoint;
+	// ResumedRound is the round it resumed at.
+	Resumed      bool
+	ResumedRound int
+	// ColdStart explains why a requested resume started cold instead — a
+	// missing, truncated, corrupted or version-skewed snapshot, a different
+	// graph, or foreign options. Empty when resumed (or never requested).
+	ColdStart string
+}
+
+// ApproxWeightedSnapshot is ApproxWeighted with crash-resumable state: a
+// verified checkpoint is persisted to path after every round (atomically,
+// so a crash mid-save keeps the previous one). With resume, a valid
+// checkpoint at path continues the run warm — bit-identical to the
+// uninterrupted run for every deterministic configuration (see
+// core.ResumeSolve) — while any unusable snapshot (missing, truncated,
+// bit-flipped, future-versioned, wrong graph, foreign options) degrades to
+// a cold start, reported in SnapshotInfo.ColdStart; it is never an error
+// and never resumes into wrong state (the container checksum guarantees
+// detection). The initial matching is only used on cold starts — a resumed
+// run continues from the checkpoint's matching.
+func ApproxWeightedSnapshot(g *Graph, initial *Matching, opts ApproxOptions, path string, resume bool) (ApproxResult, SnapshotInfo, error) {
+	co := opts.coreOptions()
+	co.Rng = nil // Solve/ResumeSolve own the Rng (seed + draw count persist)
+	save := func(cp *core.Checkpoint) error { return core.SaveCheckpoint(path, cp) }
+	var info SnapshotInfo
+	if resume {
+		cp, err := core.LoadCheckpoint(path)
+		if err == nil && !sameGraph(cp.Graph, g) {
+			err = errSnapshotGraph
+		}
+		if err == nil {
+			res, rerr := core.ResumeSolve(cp, co, save)
+			if !errors.Is(rerr, core.ErrCheckpointOptions) {
+				info.Resumed, info.ResumedRound = true, cp.Round
+				return ApproxResult{M: res.M, Stats: res.Stats}, info, rerr
+			}
+			err = rerr
+		}
+		info.ColdStart = err.Error()
+	}
+	res, err := core.SolveCheckpointed(g, initial, co, opts.Seed, save)
+	return ApproxResult{M: res.M, Stats: res.Stats}, info, err
+}
+
+var errSnapshotGraph = errors.New("repro: snapshot was taken on a different graph")
+
+// sameGraph reports whether two graphs are identical instances: same
+// vertex count and the same edge list in the same order (the reduction is
+// order-sensitive only through the Rng, but a checkpoint's Rng stream is
+// only meaningful against the byte-identical instance).
+func sameGraph(a, b *Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	be := b.Edges()
+	for i, e := range a.Edges() {
+		if e != be[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // StreamingApproxResult adds multi-pass accounting to an ApproxResult.
