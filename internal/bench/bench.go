@@ -106,6 +106,7 @@ func Registry() map[string]Runner {
 		"E14": E14UniformClass,
 		"E15": E15DeltaBuild,
 		"E16": E16RepairHK,
+		"E17": E17CrossRound,
 	}
 }
 

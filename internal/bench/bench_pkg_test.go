@@ -10,7 +10,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
 	}
@@ -74,6 +74,34 @@ func TestRunAllRenders(t *testing.T) {
 	for _, id := range IDs() {
 		if !strings.Contains(out, "== "+id) {
 			t.Errorf("output missing experiment %s", id)
+		}
+	}
+}
+
+// TestE17CrossRoundHonest pins the E17 table's two invariants: within each
+// redraw regime the chained and round-local rows end at the identical final
+// weight (bit-identity is asserted family-wide in solvertest; here we keep
+// the published table honest), and the chained rows actually crossed round
+// boundaries (cross builds > 0) while the round-local rows never did.
+func TestE17CrossRoundHonest(t *testing.T) {
+	tables := E17CrossRound(Config{Seed: 1, Trials: 1, Quick: true})
+	rows := tables[0].Rows
+	if len(rows)%2 != 0 || len(rows) == 0 {
+		t.Fatalf("E17 rows not in chained/round-local pairs: %d rows", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		chained, local := rows[i], rows[i+1]
+		if chained[1] != "chained" || local[1] != "round-local" {
+			t.Fatalf("row order drifted: %q then %q", chained[1], local[1])
+		}
+		if chained[7] != local[7] {
+			t.Errorf("%s: final weight diverged: %s vs %s", chained[0], chained[7], local[7])
+		}
+		if chained[4] == "0" {
+			t.Errorf("%s: chained run crossed no round boundary", chained[0])
+		}
+		if local[4] != "0" || local[5] != "0" {
+			t.Errorf("%s: round-local run has cross counters %s/%s", local[0], local[4], local[5])
 		}
 	}
 }

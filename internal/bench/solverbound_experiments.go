@@ -27,7 +27,9 @@ type solverBoundRun struct {
 }
 
 func runSolverBound(g *graph.Graph, opts core.Options, label string, seed int64, rounds int) (solverBoundRun, error) {
-	opts.Rng = rand.New(rand.NewSource(seed))
+	if opts.Rng == nil {
+		opts.Rng = rand.New(rand.NewSource(seed))
+	}
 	opts.MaxRounds = rounds
 	opts.Patience = rounds
 	start := time.Now()

@@ -66,20 +66,37 @@ func newAmortizer(g *graph.Graph, opts Options) *amortizer {
 
 // beginRound syncs the index to the round's parametrization and drops the
 // previous round's cache (a fresh bipartition invalidates every layered
-// graph).
-func (am *amortizer) beginRound(par *layered.Parametrized) {
+// graph — though the per-class delta chains now survive it, see
+// amortClassCtx). A non-nil error (ErrBeginRoundBusy: a concurrent or
+// re-entrant BeginRound caught by the index's ownership stamp) leaves the
+// round un-synced; the caller must treat it like a setup panic.
+func (am *amortizer) beginRound(par *layered.Parametrized) error {
 	if testBeginRoundPanic != nil {
 		testBeginRoundPanic()
 	}
-	am.inc.BeginRound(par)
+	if testBeginRoundErr != nil {
+		if err := testBeginRoundErr(); err != nil {
+			return err
+		}
+	}
+	if err := am.inc.BeginRound(par); err != nil {
+		return err
+	}
 	if am.cache != nil {
 		am.cache.reset()
 	}
+	return nil
 }
 
 // testBeginRoundPanic, when set by a test, runs at the top of beginRound —
 // the hook the reset-rung tests use to fault the round-scoped setup.
 var testBeginRoundPanic func()
+
+// testBeginRoundErr, when set by a test, can make beginRound return an
+// error without panicking — the hook the reset-rung tests use to inject
+// the index's misuse sentinels (layered.ErrBeginRoundBusy) at the exact
+// point a real concurrent BeginRound would surface them.
+var testBeginRoundErr func() error
 
 // safeBeginRound is the ladder's wrapper around beginRound: a panic out of
 // the amortised round setup is recovered into a PanicError (Class -1) for
@@ -90,8 +107,7 @@ func (am *amortizer) safeBeginRound(par *layered.Parametrized) (err error) {
 			err = &PanicError{Class: -1, Value: p, Stack: debug.Stack()}
 		}
 	}()
-	am.beginRound(par)
-	return nil
+	return am.beginRound(par)
 }
 
 // amortClassCtx is the per-class slice of the amortised state handed to
@@ -108,6 +124,18 @@ type amortClassCtx struct {
 	cache *pairCache
 	enum  *layered.PairScratch
 	warm  *warmState
+
+	// Cross-round delta chaining (Options.CrossRoundCutover ≥ 0): the
+	// class's build arena, its last build, and its repair arena live here —
+	// per class, Solve-lifetime — instead of on the round-scoped worker,
+	// so the chain's baseline survives the bipartition redraw. prevLay
+	// points into scratch's retained build; both are lazily created by the
+	// class's first sweep. rep shadows the worker's repairState under the
+	// same precedence warm uses. All class-private, so worker-count
+	// invariance is preserved exactly as for warm.
+	scratch *layered.Scratch
+	prevLay *layered.Layered
+	rep     *repairState
 
 	// quarantined marks the class's amortised context as damaged (a
 	// recovered sweep panic or an escaped corruption sentinel): Round's

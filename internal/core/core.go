@@ -158,6 +158,25 @@ type Options struct {
 	// when a Solver/SolverFactory/PhasedSolverFactory closure or WarmStart
 	// is installed — only the default exact solver retains repair state.
 	RepairCutover int
+	// CrossRoundCutover gates the cross-round extension of the delta chain
+	// (PR 7): with it enabled each class's builds chain on a class-private
+	// arena that survives the round boundary, so the first build of a
+	// class-round is delta-built over the previous round's last build — the
+	// chain crosses the bipartition redraw, keeping exactly the segments
+	// whose buckets the incremental index proves unchanged
+	// (layered.RoundChainer) — and the incremental Hopcroft–Karp repair
+	// extends across rounds with it (DeltaInfo already names the base
+	// build). 0 uses the default gate (chain across the redraw whenever
+	// anything is reusable); a positive value requires at least that many
+	// reusable segments at the round link before chaining (below it the
+	// link build rebuilds in place, exactly as a too-small same-round delta
+	// does); negative disables the extension — every class chain restarts at
+	// each BeginRound, the round-local behaviour of PRs 4–6 and the
+	// measurement baseline of the E17 experiment. Cross-round chained builds
+	// and repairs are bit-identical to round-local ones by construction
+	// (Invariant 24); see Stats.CrossRoundDeltaBuilds / CrossRoundRepairs.
+	// Ignored unless Amortize is set and DeltaCutover ≥ 0.
+	CrossRoundCutover int
 	// CacheGate tunes the per-class hit-rate gate on the cross-class solve
 	// cache: a class whose cache lookups have produced zero hits after
 	// CacheGate lookups stops computing pair keys (and so stops digesting
@@ -274,6 +293,17 @@ type Stats struct {
 	// "matches kept"; the shipped repair keeps the adjacency, not the
 	// matches — see DESIGN.md PR 5 for why seeding was rejected.)
 	RepairEdgesKept int
+	// CrossRoundDeltaBuilds counts delta builds whose baseline was the
+	// class's last build of a PREVIOUS round: the chain crossed a
+	// bipartition redraw instead of restarting at BeginRound (always 0 on
+	// the naive path and at CrossRoundCutover < 0). Every such build is
+	// also counted in DeltaBuilds.
+	CrossRoundDeltaBuilds int
+	// CrossRoundRepairs counts RepairSolves whose patched baseline solve
+	// belonged to a previous round — the repair chain extended across the
+	// redraw together with the build chain (always 0 unless both the
+	// repair path and cross-round chaining are on).
+	CrossRoundRepairs int
 	// ClassesSkippedDirty counts (round, class) combinations the
 	// round-scoped dirty gate skipped outright: classes whose τ windows
 	// contained no crossing edge, which provably enumerate zero surviving
@@ -831,9 +861,22 @@ func classAugmentations(
 		panic("faultinject: injected worker panic in class sweep")
 	}
 	var ix layered.Index
+	crossRound := false
 	if ac != nil {
 		ix = ac.view
 		if opts.DeltaCutover >= 0 {
+			if opts.CrossRoundCutover >= 0 {
+				// Cross-round chaining: the class's delta chain lives on a
+				// class-private arena so its baseline survives the round
+				// boundary (worker arenas are recreated every Round and
+				// shuffle between classes under the pool). Lazy — a class
+				// that never sweeps never pays for one.
+				if ac.scratch == nil {
+					ac.scratch = layered.NewScratch()
+				}
+				scratch = ac.scratch
+				crossRound = true
+			}
 			// The sweep delta-chains this class's builds, so the first
 			// pair's from-scratch build must record the diff watermarks.
 			scratch.EnableDeltaBaseline()
@@ -878,6 +921,16 @@ func classAugmentations(
 		warm.resetClass()
 	}
 	rep := cw.repair
+	if rep != nil && crossRound {
+		// Like the build arena, the repair baseline must be class-private to
+		// survive the round boundary; the worker's arena would hand class A's
+		// retained CSR to class B next round (the token check would catch it,
+		// but every link solve would then fall back cold).
+		if ac.rep == nil {
+			ac.rep = &repairState{hk: bipartite.NewScratch()}
+		}
+		rep = ac.rep
+	}
 	if warm != nil {
 		rep = nil
 	}
@@ -888,8 +941,13 @@ func classAugmentations(
 	// builder: every surviving pair after the first patches the previous
 	// pair's build (bit-identical to a from-scratch build by construction).
 	// Pairs served by the cache never build, so prevLay stays the arena's
-	// latest build across hits.
+	// latest build across hits. Under cross-round chaining it is seeded
+	// from the class context, so the first build of a class-round deltas
+	// over the previous round's last build — across the redraw.
 	var prevLay *layered.Layered
+	if crossRound {
+		prevLay = ac.prevLay
+	}
 	for _, tau := range pairs {
 		stats.LayeredBuilt++
 		keyed := false
@@ -927,15 +985,24 @@ func classAugmentations(
 			}
 		}
 		var lay *layered.Layered
+		crossBuilt := false
 		if ac != nil && prevLay != nil && opts.DeltaCutover >= 0 {
 			cut := opts.DeltaCutover
 			if cut == 0 {
 				cut = 1
 			}
+			link := prevLay.Par != par // baseline from a previous round
+			if link && opts.CrossRoundCutover > cut {
+				cut = opts.CrossRoundCutover
+			}
 			if dl, reusedSegs, derr := layered.BuildDelta(ix, prevLay, tau, scratch, cut); derr == nil {
 				lay = dl
 				stats.DeltaBuilds++
 				stats.DeltaLayersReused += reusedSegs
+				if link {
+					stats.CrossRoundDeltaBuilds++
+					crossBuilt = true
+				}
 			} else {
 				// Build rung of the ladder: a rejected baseline (ErrDelta*,
 				// real or injected) degrades to the from-scratch build
@@ -964,7 +1031,13 @@ func classAugmentations(
 			stats.SolverPhases += phases
 		case rep != nil:
 			var phases int
+			repairedBefore := stats.RepairSolves
 			mPrime, phases = rep.solve(lay, bip, opts.RepairCutover, stats)
+			if crossBuilt && stats.RepairSolves > repairedBefore {
+				// The patched baseline solve belonged to the previous
+				// round: the repair chain crossed the redraw too.
+				stats.CrossRoundRepairs++
+			}
 			stats.SolverPhases += phases
 		default:
 			cw.lastPhases = 0
@@ -984,6 +1057,11 @@ func classAugmentations(
 		if keyed {
 			ac.cache.put(key, cands[start:])
 		}
+	}
+	if crossRound {
+		// Hand the chain tail to the class context so next round's first
+		// build can link onto it across the redraw.
+		ac.prevLay = prevLay
 	}
 
 	// Resolve the class's shared conflict set greedily by descending gain

@@ -152,7 +152,11 @@ func TestSolveCheckpointedMatchesSolve(t *testing.T) {
 // Solve after any round, decode the bytes it last persisted, resume in a
 // "new process", and the final matching and stats are bit-identical to the
 // uninterrupted run — warm in the sense that completed rounds are not
-// re-run (the resumed stats count each round exactly once).
+// re-run (the resumed stats count each round exactly once). The one
+// carve-out is the chain-effort counters (see chainEffortNormalized): the
+// cross-round delta/repair baselines live in RAM arenas a checkpoint cannot
+// carry, so a resumed run restarts each class chain and may count fewer —
+// never more — chained builds while producing the identical matching.
 func TestKillResumeBitIdentical(t *testing.T) {
 	g := snapshotTestInstance(t)
 	const seed = 11
@@ -193,11 +197,33 @@ func TestKillResumeBitIdentical(t *testing.T) {
 			t.Fatalf("killAfter=%d: resumed matching differs: weight %d vs %d",
 				killAfter, resumed.M.Weight(), full.M.Weight())
 		}
-		if resumed.Stats != full.Stats {
+		if chainEffortNormalized(resumed.Stats) != chainEffortNormalized(full.Stats) {
 			t.Fatalf("killAfter=%d: resumed stats differ:\n got %+v\nwant %+v",
 				killAfter, resumed.Stats, full.Stats)
 		}
+		// Losing the in-memory chain can only cost reuse, never invent it.
+		if resumed.Stats.DeltaBuilds > full.Stats.DeltaBuilds ||
+			resumed.Stats.CrossRoundDeltaBuilds > full.Stats.CrossRoundDeltaBuilds ||
+			resumed.Stats.RepairSolves > full.Stats.RepairSolves {
+			t.Fatalf("killAfter=%d: resumed run chained MORE than the uninterrupted one:\n got %+v\nwant %+v",
+				killAfter, resumed.Stats, full.Stats)
+		}
 	}
+}
+
+// chainEffortNormalized zeroes the amortisation-effort counters that depend
+// on retained in-memory arenas (the delta and repair chains, PR 7's
+// cross-round baselines included): a resumed run restarts every class chain
+// at the checkpoint boundary, so these may fall short of the uninterrupted
+// run's while all result-bearing fields stay bit-identical.
+func chainEffortNormalized(s Stats) Stats {
+	s.DeltaBuilds = 0
+	s.DeltaLayersReused = 0
+	s.RepairSolves = 0
+	s.RepairEdgesKept = 0
+	s.CrossRoundDeltaBuilds = 0
+	s.CrossRoundRepairs = 0
+	return s
 }
 
 // TestResumeRejectsForeignOptions: a checkpoint only resumes under the

@@ -63,6 +63,13 @@ const (
 	// worker panics mid-class. Ladder response: the pool recovers, the
 	// class's amortised state is quarantined, and the class re-runs cold.
 	WorkerPanic
+	// ChainLink fires inside layered.BuildDelta at the cross-round chain
+	// link — a delta build whose baseline was assembled in an earlier round
+	// (PR 7): the link is reported severed (ErrDeltaStale) as if the
+	// baseline's round epoch could not be validated. Ladder response: the
+	// caller falls back to a from-scratch BuildIndexed, restarting the chain
+	// round-locally — bit-identical by construction.
+	ChainLink
 
 	numSites
 )
@@ -74,6 +81,7 @@ var siteNames = [numSites]string{
 	RepairInfo:  "repair-info",
 	CacheDigest: "cache-digest",
 	WorkerPanic: "worker-panic",
+	ChainLink:   "chain-link",
 }
 
 func (s Site) String() string {

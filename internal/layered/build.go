@@ -44,6 +44,13 @@ type Layered struct {
 	// build among all builds on the same Scratch (BuildSeq).
 	seq uint64
 
+	// epoch is the index's round clock (RoundChainer.RoundEpoch) at build
+	// time, or 0 when the index does not implement the chaining interface.
+	// BuildDelta consults it to decide whether a baseline from an earlier
+	// round can still anchor a delta: a bucket unchanged since this epoch
+	// yields byte-identical kept segments across the bipartition redraw.
+	epoch uint64
+
 	// vertOrig[id] and vertLayer[id] decode a compact id.
 	vertOrig  []int32
 	vertLayer []int32
@@ -148,6 +155,19 @@ type Scratch struct {
 	gapIDEnd   []int32
 	lastXIDs   int
 
+	// tauBuf double-buffers arena-owned copies of the τ units of the two
+	// most recent baseline-recording builds. A caller's TauPair routinely
+	// aliases a pair-enumeration scratch whose storage is overwritten by
+	// the NEXT enumeration — harmless while chains lived inside one
+	// class-round, but a cross-round baseline (PR 7) outlives that arena,
+	// and BuildDelta's keep loops compare prev.Tau byte-for-byte. Two slots
+	// suffice: prev is always exactly the last build (the staleness check
+	// guarantees it), so the current build writes the slot prev is not
+	// reading from.
+	tauBufA [2][]int
+	tauBufB [2][]int
+	tauFlip int
+
 	vertOrig  []int32
 	vertLayer []int32
 	x, y, ix  []graph.Edge
@@ -182,6 +202,17 @@ func NewScratch() *Scratch { return &Scratch{} }
 // itself always records them). Off by default so the naive build path pays
 // no bookkeeping; the amortised class sweep enables it on its worker arenas.
 func (s *Scratch) EnableDeltaBaseline() { s.recMarks = true }
+
+// ownTau copies tau's unit vectors into arena-owned storage (see tauBuf):
+// a build that may serve as a delta baseline must not retain the caller's
+// slices, which typically belong to a reusable pair-enumeration scratch.
+func (s *Scratch) ownTau(tau TauPair) TauPair {
+	i := s.tauFlip & 1
+	s.tauFlip++
+	s.tauBufA[i] = append(s.tauBufA[i][:0], tau.AUnits...)
+	s.tauBufB[i] = append(s.tauBufB[i][:0], tau.BUnits...)
+	return TauPair{AUnits: s.tauBufA[i], BUnits: s.tauBufB[i]}
+}
 
 // Index re-buckets the arena's bucket index for (par, w) and returns it.
 func (s *Scratch) Index(par *Parametrized, w float64, prm Params) *BucketIndex {
@@ -278,7 +309,14 @@ func BuildIndexed(ix Index, tau TauPair, s *Scratch) *Layered {
 		s.marksValid = false
 	}
 
-	l := &Layered{Par: par, Tau: tau, W: w, Prm: prm, K: k, scratch: s}
+	stored := tau
+	if s.recMarks {
+		stored = s.ownTau(tau)
+	}
+	l := &Layered{Par: par, Tau: stored, W: w, Prm: prm, K: k, scratch: s}
+	if rc, ok := ix.(RoundChainer); ok {
+		l.epoch = rc.RoundEpoch()
+	}
 	s.buildSeq++
 	l.seq = s.buildSeq
 	s.last = l

@@ -24,11 +24,35 @@ var (
 	// storage prev aliases. Retaining a Layered across builds requires
 	// Detach(); chaining deltas requires prev to be the latest build.
 	ErrDeltaStale = errors.New("layered: BuildDelta baseline is stale (a later build reused its scratch)")
-	// ErrDeltaMismatch: prev was built from a different parametrization,
-	// class weight, or discretisation than ix currently describes, so equal
-	// τ units would not imply equal buckets.
+	// ErrDeltaMismatch: prev was built from a different class weight or
+	// discretisation than ix currently describes — or from a different
+	// parametrization without the index offering the RoundChainer evidence
+	// that would let per-bucket stability carry segments across the redraw —
+	// so equal τ units would not imply equal buckets.
 	ErrDeltaMismatch = errors.New("layered: BuildDelta baseline was built from a different index state")
 )
+
+// RoundChainer is the optional Index capability that lets BuildDelta chain
+// across a bipartition redraw (PR 7): the index keeps a monotonic round
+// clock (one tick per BeginRound) and, per bucket, the epoch of the last
+// change that could alter a built segment's bytes. A baseline built at
+// epoch E then still anchors a delta after any number of redraws — each
+// kept segment individually requires its bucket to be unchanged since E,
+// which makes the kept bytes (edges, compact ids, and side entries alike)
+// identical to what a from-scratch build would emit this round. Implemented
+// by IncView; indexes without it confine delta chains to a single round
+// (BuildDelta reports ErrDeltaMismatch when the parametrization changed).
+type RoundChainer interface {
+	// RoundEpoch returns the current round clock (0 before the first round).
+	RoundEpoch() uint64
+	// AStableSince reports that the class's unit-u τA bucket — membership,
+	// weights, and member orientation — is unchanged since the given epoch.
+	AStableSince(u int, epoch uint64) bool
+	// YStableSince reports that the class's unit-u τB bucket and the
+	// survival classification of every in-window endpoint are unchanged
+	// since the given epoch.
+	YStableSince(u int, epoch uint64) bool
+}
 
 // YGrouper is the optional Index capability BuildDelta exploits for the Y
 // stage: the unit-u unmatched crossing edges pre-partitioned by the survival
@@ -98,6 +122,15 @@ type DeltaInfo struct {
 // the differential suite (TestBuildDeltaMatchesBuildIndexed, FuzzBuildDelta)
 // asserts across every generator family.
 //
+// The baseline may come from an earlier round — a different parametrization
+// of the same graph — when ix implements RoundChainer (PR 7): each kept
+// segment then additionally requires its bucket unchanged since the
+// baseline's build epoch, and unstable segments shrink the kept prefix
+// (possibly to nothing, a full in-place rebuild) rather than erroring, so
+// the chain survives the bipartition redraw without ever tripping the
+// fallback rungs on a healthy run. Without RoundChainer a cross-round
+// baseline is rejected with ErrDeltaMismatch, as before.
+//
 // cutover is the chaining gate: when fewer than cutover segments (X layers
 // plus kept Y gaps) are reusable, the whole graph is rebuilt from scratch
 // (reused = 0) rather than paying the diff bookkeeping; cutover ≤ 1 chains
@@ -126,8 +159,30 @@ func BuildDelta(ix Index, prev *Layered, tau TauPair, s *Scratch, cutover int) (
 		return nil, 0, ErrDeltaStale
 	}
 	par, w, prm := ix.Parametrization(), ix.ClassWeight(), ix.Config()
-	if prev.Par != par || prev.W != w || prev.Prm != prm {
+	if prev.W != w || prev.Prm != prm {
 		return nil, 0, ErrDeltaMismatch
+	}
+	// chain is non-nil on the cross-round path: the baseline was built from
+	// an earlier round's parametrization, and the index's change clock must
+	// vouch for every kept segment individually. Note the asymmetry with the
+	// same-round path: an unstable bucket is not an error — the segment is
+	// simply not kept (px/q stop growing, down to a full in-place rebuild),
+	// so a healthy run never touches the fallback rungs.
+	var chain RoundChainer
+	if prev.Par != par {
+		rc, ok := ix.(RoundChainer)
+		if !ok || prev.epoch == 0 || prev.Par == nil || prev.Par.N != par.N ||
+			rc.RoundEpoch() < prev.epoch {
+			return nil, 0, ErrDeltaMismatch
+		}
+		// Hazard site (chaos testing): sever the cross-round chain link —
+		// report the baseline stale as a failed epoch validation would. The
+		// caller falls back to BuildIndexed, restarting the chain
+		// round-locally, bit-identically.
+		if faultinject.Fire(faultinject.ChainLink) {
+			return nil, 0, ErrDeltaStale
+		}
+		chain = rc
 	}
 
 	k, kp := tau.K(), prev.K
@@ -139,16 +194,24 @@ func BuildDelta(ix Index, prev *Layered, tau TauPair, s *Scratch, cutover int) (
 	// 0..min(k, kp)−1 are interior-or-first in both, and the full vector
 	// keeps the last layer too). q is the number of Y gaps kept, which
 	// additionally requires the X stage to be byte-identical (gap edges and
-	// their fresh ids depend on the whole X id assignment).
+	// their fresh ids depend on the whole X id assignment). Across a round
+	// boundary each kept segment further requires its bucket unchanged since
+	// the baseline's epoch (a τA = 0 layer holds no bucket content, so unit
+	// equality alone suffices there).
 	px, q := 0, 0
 	if s.marksValid { // a baseline built without watermarks offers no prefix
+		stableX := func(t int) bool {
+			u := tau.AUnits[t]
+			return chain == nil || u == 0 || chain.AStableSince(u, prev.epoch)
+		}
 		maxP := min(k, kp)
-		for px < maxP && prev.Tau.AUnits[px] == tau.AUnits[px] {
+		for px < maxP && prev.Tau.AUnits[px] == tau.AUnits[px] && stableX(px) {
 			px++
 		}
-		if k == kp && px == k && prev.Tau.AUnits[k] == tau.AUnits[k] {
+		if k == kp && px == k && prev.Tau.AUnits[k] == tau.AUnits[k] && stableX(k) {
 			px = k + 1
-			for q < k && prev.Tau.BUnits[q] == tau.BUnits[q] {
+			for q < k && prev.Tau.BUnits[q] == tau.BUnits[q] &&
+				(chain == nil || chain.YStableSince(tau.BUnits[q], prev.epoch)) {
 				q++
 			}
 		}
@@ -166,7 +229,10 @@ func BuildDelta(ix Index, prev *Layered, tau TauPair, s *Scratch, cutover int) (
 	s.gapYEnd = ensureLen32(s.gapYEnd, k+1)
 	s.gapIDEnd = ensureLen32(s.gapIDEnd, k+1)
 
-	l = &Layered{Par: par, Tau: tau, W: w, Prm: prm, K: k, scratch: s}
+	l = &Layered{Par: par, Tau: s.ownTau(tau), W: w, Prm: prm, K: k, scratch: s}
+	if rc, ok := ix.(RoundChainer); ok {
+		l.epoch = rc.RoundEpoch()
+	}
 	baseSeq := prev.seq
 	s.buildSeq++
 	l.seq = s.buildSeq

@@ -39,10 +39,21 @@ func assertSameLayered(t testing.TB, label string, got, want *Layered) {
 // actually chained.
 func deltaChainCheck(t testing.TB, ix Index, pairs []TauPair, s *Scratch, cutover int) int {
 	t.Helper()
+	reused, _, _ := deltaChainFrom(t, ix, pairs, s, cutover, nil, nil)
+	return reused
+}
+
+// deltaChainFrom is deltaChainCheck with an explicit chain seed: prev (and
+// its arena-independent snapshot prevSnap) may be the tail of an earlier
+// round's chain on the same scratch, in which case the first build of this
+// call exercises the cross-round link of BuildDelta. It returns the chain's
+// new tail alongside the reuse total so callers can thread it into the next
+// round.
+func deltaChainFrom(t testing.TB, ix Index, pairs []TauPair, s *Scratch, cutover int,
+	prev, prevSnap *Layered) (int, *Layered, *Layered) {
+	t.Helper()
 	s.EnableDeltaBaseline()
 	reusedTotal := 0
-	var prev *Layered
-	var prevSnap *Layered
 	for pi, tau := range pairs {
 		want := BuildIndexed(ix, tau, nil)
 		var got *Layered
@@ -67,7 +78,7 @@ func deltaChainCheck(t testing.TB, ix Index, pairs []TauPair, s *Scratch, cutove
 		// reuses prev's storage, so the baseline must be copied out.
 		prevSnap = snapshotLayered(got)
 	}
-	return reusedTotal
+	return reusedTotal, prev, prevSnap
 }
 
 // snapshotLayered copies the build's solver-visible content out of the
@@ -316,11 +327,20 @@ func TestDirtyClassGate(t *testing.T) {
 // perturbation), the τ-masks (fresh bipartitions per round), and the delta
 // cutover threshold, and holds every delta-chained build — grouped and
 // fallback paths — byte-identical to the from-scratch BuildIndexed of the
-// same pair over both index implementations.
+// same pair over both index implementations. The grouped path's chains are
+// carried ACROSS rounds (per-class scratch and tail, as core does under
+// cross-round chaining), so a revisited class's first build exercises the
+// crossing-status diff at the round link; the fallback path restarts
+// round-locally, as a non-RoundChainer index must.
 func FuzzBuildDelta(f *testing.F) {
 	f.Add(int64(1), uint8(2), uint8(1), []byte{1, 2, 3, 4, 5, 6, 7, 8})
 	f.Add(int64(2), uint8(1), uint8(0), []byte{0xff, 0x80, 0x10, 9, 9, 9})
 	f.Add(int64(3), uint8(3), uint8(40), []byte{})
+	// Cross-round seeds: empty first rounds keep the matching stable into
+	// the revisit (pure crossing-status diffs at the link), and dense
+	// mutation scripts flip matched windows right at it.
+	f.Add(int64(7), uint8(0), uint8(2), []byte{0, 0, 0, 1, 0x41})
+	f.Add(int64(11), uint8(2), uint8(1), []byte{5, 0x80, 2, 0x21, 0, 7, 0x10, 0, 3, 0xfe})
 	f.Fuzz(func(t *testing.T, seed int64, granSel, cutSel uint8, script []byte) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 6 + rng.Intn(14)
@@ -334,7 +354,10 @@ func FuzzBuildDelta(f *testing.F) {
 		ws := testClassWeights(edges, prm)
 		inc := NewIncIndex(n, edges, ws, prm)
 		m := graph.NewMatching(n)
-		sInc, sRef := NewScratch(), NewScratch()
+		sRef := NewScratch()
+		sIncs := make([]*Scratch, len(ws))
+		tails := make([]*Layered, len(ws))
+		tailSnaps := make([]*Layered, len(ws))
 		enum := NewPairScratch()
 
 		round := func(start int) int {
@@ -345,10 +368,12 @@ func FuzzBuildDelta(f *testing.F) {
 			return i + 1
 		}
 		pos := 0
-		for r := 0; r < 3; r++ {
+		for r := 0; r < 4; r++ { // 4 rounds so r=3 revisits r=0's classes
 			pos = round(pos)
 			par := Parametrize(n, edges, m, rng)
-			inc.BeginRound(par)
+			if err := inc.BeginRound(par); err != nil {
+				t.Fatal(err)
+			}
 			for c, w := range ws {
 				if c%3 != r%3 { // subsample classes per round for speed
 					continue
@@ -366,7 +391,12 @@ func FuzzBuildDelta(f *testing.F) {
 				if len(pairs) < 2 {
 					continue
 				}
-				deltaChainCheck(t, v, pairs, sInc, cutover)
+				if sIncs[c] == nil {
+					sIncs[c] = NewScratch()
+				}
+				_, tail, snap := deltaChainFrom(t, v, pairs, sIncs[c], cutover,
+					tails[c], tailSnaps[c])
+				tails[c], tailSnaps[c] = tail, snap
 				deltaChainCheck(t, NewBucketIndex(par, w, prm), pairs, sRef, cutover)
 			}
 		}

@@ -1,11 +1,22 @@
 package layered
 
 import (
+	"errors"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/faultinject"
 	"repro/internal/graph"
 )
+
+// ErrBeginRoundBusy: BeginRound was entered while another BeginRound on the
+// same index was still running (concurrent or re-entrant use, which the type
+// contract forbids). The entering call performed no mutation — the dirty
+// digest, counts, and matched list are whatever the running call leaves —
+// so the caller can absorb the sentinel through the degradation ladder's
+// reset rung (core counts it in Stats.FallbackResets and rebuilds the
+// amortised context) instead of risking a silently corrupted round setup.
+var ErrBeginRoundBusy = errors.New("layered: concurrent or re-entrant IncIndex.BeginRound")
 
 // IncIndex is the amortised form of the per-(round, class) BucketIndex
 // rebuild: one edge-indexed structure owned by a whole Solve run. The
@@ -76,6 +87,39 @@ type IncIndex struct {
 	aMask []uint64
 	bMask []uint64
 
+	// busy guards BeginRound against concurrent or re-entrant entry: the
+	// cheap CAS twin of the ErrDeltaStale idiom. Views stay lock-free — only
+	// the round setup is exclusive.
+	busy atomic.Uint32
+
+	// Cross-round change clock (PR 7): epoch counts BeginRound calls
+	// monotonically (uint64 — unlike stamp it never wraps, so comparisons
+	// spanning arbitrarily many rounds stay sound), and the Chg tables
+	// record, per bucket or vertex, the epoch of its last relevant change.
+	// BuildDelta keeps a segment across a bipartition redraw exactly when
+	// its bucket's change epoch is at or before the baseline's build epoch.
+	//
+	//   - aChg[c][u]: last change to the (class c, unit u) τA bucket —
+	//     membership (an edge entered/left the matching or flipped crossing
+	//     status), an entry's weight, or the orientation (endpoint sides) of
+	//     a member. Orientation matters because kept X layers also keep the
+	//     baseline's side entries (Layered.Sides' kept-prefix reuse).
+	//   - yChg[c][u]: last membership or orientation change to the (class c,
+	//     unit u) τB bucket, maintained from the per-edge ePrev diff.
+	//   - vChg[v]: last change to vertex v's survival classification inputs
+	//     (matched status, matched-edge identity/weight, or the crossing
+	//     status of its matched edge) — class-independent and conservative:
+	//     one bump covers every class, trading reuse for O(1) bookkeeping.
+	epoch uint64
+	aChg  [][]uint64
+	yChg  [][]uint64
+	vChg  []uint64
+	// ePrev[i] is edge i's previous-round τB-relevant state: bit 0 set when
+	// the edge was live (crossing and unmatched), bit 1 its U endpoint's
+	// side. A liveness or (live) orientation flip bumps yChg for every
+	// (class, unit) slot of the edge.
+	ePrev []uint8
+
 	// Round-scoped dirty-class gate: dirty[c] is true when class c's τ
 	// windows contain at least one crossing edge this round. Clean classes
 	// skip the per-(class, unit) folding entirely — their counts are
@@ -91,10 +135,21 @@ type IncIndex struct {
 
 	// Grouped Y tables (YGrouper): per (class, τB unit), the bucket's
 	// crossing edges partitioned by the survival classification of their
-	// endpoints, lazily materialised per round like the probe rows.
+	// endpoints, lazily materialised per round like the probe rows — except
+	// that a partition whose inputs are unchanged since it was last built
+	// (ygEpoch at or after the bucket's effective change epoch, see
+	// yEffEpoch) is revalidated across the round boundary instead of
+	// rebuilt: the PR 7 keying of the survival tables by crossing-status
+	// deltas rather than by round.
 	ygStamp [][]uint32
+	ygEpoch [][]uint64
 	ygFlat  [][][]graph.Edge
 	ygSpan  [][]map[uint16]ygSpan
+
+	// ysStamp/ysEff memoise yEffEpoch per (class, unit) within a round: the
+	// max over the bucket's yChg and its in-window edges' endpoint vChg.
+	ysStamp [][]uint32
+	ysEff   [][]uint64
 
 	// Lazily materialised buckets and their content digests; the digests
 	// have their own stamps because they are computed only when a PairKey
@@ -135,6 +190,14 @@ const freeLBit = 63
 type matchedEdge struct {
 	e     graph.Edge // canonical U < V, weight from the matching
 	units []uint8    // units[c] = class-c τA unit; live classes are a prefix
+	// cross and sideU are the edge's crossing status and U-endpoint side as
+	// of the last BeginRound — the previous-round state the cross-round
+	// change clock diffs against (a crossing flip changes A-bucket
+	// membership and endpoint classification; an orientation flip changes
+	// the kept side entries). Fresh entries start false and are set by the
+	// crossing pass of the round that admits them.
+	cross bool
+	sideU bool
 }
 
 // maxIncUnit is the largest τ unit the index's compact storage can hold:
@@ -215,8 +278,15 @@ func NewIncIndex(n int, edges []graph.Edge, ws []float64, prm Params) *IncIndex 
 	x.dDiff = make([]int32, len(ws)+1)
 	x.cntStamp = make([]uint32, len(ws))
 	x.ygStamp = make([][]uint32, len(ws))
+	x.ygEpoch = make([][]uint64, len(ws))
 	x.ygFlat = make([][][]graph.Edge, len(ws))
 	x.ygSpan = make([][]map[uint16]ygSpan, len(ws))
+	x.aChg = make([][]uint64, len(ws))
+	x.yChg = make([][]uint64, len(ws))
+	x.ysStamp = make([][]uint32, len(ws))
+	x.ysEff = make([][]uint64, len(ws))
+	x.vChg = make([]uint64, n)
+	x.ePrev = make([]uint8, len(edges))
 	for c := range ws {
 		x.aCnt[c] = make([]int32, maxU+1)
 		x.bCnt[c] = make([]int32, maxU+1)
@@ -233,8 +303,13 @@ func NewIncIndex(n int, edges []graph.Edge, ws []float64, prm Params) *IncIndex 
 		x.prStamp[c] = make([]uint32, maxU+1)
 		x.pRows[c] = make([][]uint64, maxU+1)
 		x.ygStamp[c] = make([]uint32, maxU+1)
+		x.ygEpoch[c] = make([]uint64, maxU+1)
 		x.ygFlat[c] = make([][]graph.Edge, maxU+1)
 		x.ygSpan[c] = make([]map[uint16]ygSpan, maxU+1)
+		x.aChg[c] = make([]uint64, maxU+1)
+		x.yChg[c] = make([]uint64, maxU+1)
+		x.ysStamp[c] = make([]uint32, maxU+1)
+		x.ysEff[c] = make([]uint64, maxU+1)
 	}
 	x.views = make([]IncView, len(ws))
 	for c := range x.views {
@@ -271,10 +346,22 @@ func (x *IncIndex) aUnitsOf(w graph.Weight, buf []uint8) []uint8 {
 // edges whose matched status or weight changed), then folds the fresh
 // bipartition into exact per-(class, unit) viability counts and masks. All
 // bucket materialisations and probe sets of the previous round are
-// invalidated by a stamp bump.
-func (x *IncIndex) BeginRound(par *Parametrized) {
+// invalidated by a stamp bump; alongside, the cross-round change clock
+// (epoch, aChg/yChg/vChg) records which buckets actually changed, so the
+// grouped Y tables and BuildDelta can survive the redraw where nothing did.
+//
+// A non-nil error means the call performed no round setup: ErrBeginRoundBusy
+// when another BeginRound was still running on the index (the misuse the
+// type contract forbids — returned as a sentinel rather than silently
+// corrupting the dirty digest, so core's reset rung can absorb it).
+func (x *IncIndex) BeginRound(par *Parametrized) error {
+	if !x.busy.CompareAndSwap(0, 1) {
+		return ErrBeginRoundBusy
+	}
+	defer x.busy.Store(0)
 	x.par = par
 	x.stamp++
+	x.epoch++
 	if x.stamp == 0 { // wrapped: stale stamps could collide
 		for c := range x.ws {
 			clear(x.aStamp[c])
@@ -284,6 +371,7 @@ func (x *IncIndex) BeginRound(par *Parametrized) {
 			clear(x.vStamp[c])
 			clear(x.prStamp[c])
 			clear(x.ygStamp[c])
+			clear(x.ysStamp[c])
 		}
 		clear(x.probeStamp)
 		clear(x.cntStamp)
@@ -292,7 +380,10 @@ func (x *IncIndex) BeginRound(par *Parametrized) {
 
 	// Merge-diff the sorted matched list against par.M's edges (ascending
 	// smaller endpoint, the m.Edges() order): unchanged edges carry their
-	// unit prefixes over, changed ones recompute.
+	// unit prefixes over, changed ones recompute. Every entry that leaves
+	// the list — skipped past, replaced, or trailing — is recorded on the
+	// change clock before its storage is reused (dropOld reads the unit
+	// prefix the departing entry still holds).
 	next := x.swap[:0]
 	old := x.matched
 	oi := 0
@@ -303,7 +394,8 @@ func (x *IncIndex) BeginRound(par *Parametrized) {
 		}
 		w := par.M.EdgeWeightAt(u)
 		for oi < len(old) && old[oi].e.U < u {
-			oi++ // dropped from the matching
+			x.dropOld(&old[oi]) // dropped from the matching
+			oi++
 		}
 		if oi < len(old) && old[oi].e.U == u && old[oi].e.V == v && old[oi].e.W == w {
 			next = append(next, old[oi])
@@ -312,27 +404,79 @@ func (x *IncIndex) BeginRound(par *Parametrized) {
 		}
 		var units []uint8
 		if oi < len(old) && old[oi].e.U == u {
+			x.dropOld(&old[oi])
 			units = old[oi].units // reuse the changed entry's storage
 			oi++
 		}
+		x.vChg[u] = x.epoch
+		x.vChg[v] = x.epoch
 		next = append(next, matchedEdge{
 			e:     graph.Edge{U: u, V: v, W: w},
 			units: x.aUnitsOf(w, units),
 		})
 	}
+	for ; oi < len(old); oi++ {
+		x.dropOld(&old[oi]) // trailing entries: matching shrank at the top
+	}
 	x.matched, x.swap = next, old[:0]
+
+	// Crossing-status diff over the matched list: a crossing flip moves the
+	// edge in or out of every A bucket of its unit prefix and flips its
+	// endpoints' survival classification; an orientation flip (crossing in
+	// both rounds, sides swapped) keeps membership and classification but
+	// invalidates the kept side entries, so it charges the buckets only.
+	// Fresh entries enter with cross = false, so their first crossing round
+	// is recorded as a flip here.
+	for mi := range x.matched {
+		me := &x.matched[mi]
+		crossNow := par.Side[me.e.U] != par.Side[me.e.V]
+		sideUNow := par.Side[me.e.U]
+		if len(me.units) > 0 {
+			switch {
+			case crossNow != me.cross:
+				for c, uu := range me.units {
+					x.aChg[c][uu] = x.epoch
+				}
+				x.vChg[me.e.U] = x.epoch
+				x.vChg[me.e.V] = x.epoch
+			case crossNow && sideUNow != me.sideU:
+				for c, uu := range me.units {
+					x.aChg[c][uu] = x.epoch
+				}
+			}
+		}
+		me.cross, me.sideU = crossNow, sideUNow
+	}
 
 	// Dirty marking: one crossing pass over the edges, charging each
 	// crossing edge's contiguous live-class band (and each crossing matched
 	// edge's unit prefix) to a class-range diff array. Classes no crossing
 	// edge touches are clean and skip all per-(class, unit) work below.
+	// The same pass diffs each in-window edge's liveness and orientation
+	// against its previous-round state (ePrev) and charges changes to the
+	// τB change clock — the B-side half of the cross-round keying.
 	clear(x.dDiff)
 	x.crossB = x.crossB[:0]
 	for i, e := range x.edges {
 		if x.bOff[i] == x.bOff[i+1] {
 			continue // in no class's τB window
 		}
-		if par.Side[e.U] == par.Side[e.V] || par.M.Has(e.U, e.V) {
+		live := par.Side[e.U] != par.Side[e.V] && !par.M.Has(e.U, e.V)
+		var now uint8
+		if live {
+			now = 1
+			if par.Side[e.U] {
+				now |= 2
+			}
+		}
+		if prev := x.ePrev[i]; prev&1 != now&1 || (now&1 != 0 && prev&2 != now&2) {
+			for s := x.bOff[i]; s < x.bOff[i+1]; s++ {
+				c := int(x.bStart[i]) + int(s-x.bOff[i])
+				x.yChg[c][x.bUnits[s]] = x.epoch
+			}
+			x.ePrev[i] = now
+		}
+		if !live {
 			continue
 		}
 		x.crossB = append(x.crossB, int32(i))
@@ -423,6 +567,23 @@ func (x *IncIndex) BeginRound(par *Parametrized) {
 		}
 		x.dirty[flip] = !x.dirty[flip]
 	}
+	return nil
+}
+
+// dropOld records a matched-list entry's departure on the change clock: its
+// endpoints' classification changes (matched → free, or rematched by the
+// replacing entry), and — when the departing edge was crossing — every A
+// bucket of its unit prefix loses a member. Must run before the entry's
+// units storage is reused by a replacement (aUnitsOf overwrites it in
+// place).
+func (x *IncIndex) dropOld(me *matchedEdge) {
+	if me.cross {
+		for c, u := range me.units {
+			x.aChg[c][u] = x.epoch
+		}
+	}
+	x.vChg[me.e.U] = x.epoch
+	x.vChg[me.e.V] = x.epoch
 }
 
 // dirtyDigest hashes the round stamp and the dirty bitmap (FNV-1a).
@@ -740,16 +901,82 @@ func (x *IncIndex) classifyY(c int, e graph.Edge) (key uint16, re graph.Edge, ok
 	return ygKey(row, col), graph.Edge{U: r, V: l, W: e.W}, true
 }
 
+// yEffEpoch returns the epoch of the last change relevant to the (c, u)
+// grouped Y partition: the bucket's own membership/orientation epoch joined
+// with the classification epochs of every in-window edge's endpoints. The
+// scan runs over the static bAll superset, so it is conservative — a dead
+// edge's endpoint can invalidate a partition it does not participate in —
+// which errs toward rebuilding, never toward stale reuse. Memoised per
+// (round, class, unit); cost is one pass over the in-window edge list.
+func (x *IncIndex) yEffEpoch(c, u int) uint64 {
+	if x.ysStamp[c][u] == x.stamp {
+		return x.ysEff[c][u]
+	}
+	x.ysStamp[c][u] = x.stamp
+	eff := x.yChg[c][u]
+	for _, ei := range x.bAll[c][u] {
+		e := x.edges[ei]
+		if v := x.vChg[e.U]; v > eff {
+			eff = v
+		}
+		if v := x.vChg[e.V]; v > eff {
+			eff = v
+		}
+	}
+	x.ysEff[c][u] = eff
+	return eff
+}
+
+// RoundEpoch returns the index's BeginRound count — the round clock the
+// cross-round delta chain keys on (RoundChainer interface). Zero means
+// BeginRound has never run.
+func (v *IncView) RoundEpoch() uint64 { return v.ix.epoch }
+
+// AStableSince reports whether this class's unit-u τA bucket — membership,
+// entry weights, and member orientation — is unchanged since the given
+// epoch (RoundChainer interface): a kept X layer of a build from that epoch
+// is byte-identical to what a fresh build would emit now, side entries
+// included.
+func (v *IncView) AStableSince(u int, epoch uint64) bool {
+	if u < 1 || u > v.ix.maxU {
+		return false
+	}
+	return v.ix.aChg[v.c][u] <= epoch
+}
+
+// YStableSince reports whether this class's unit-u grouped Y partition
+// inputs — τB bucket membership and orientation plus every in-window
+// endpoint's survival classification — are unchanged since the given epoch
+// (RoundChainer interface).
+func (v *IncView) YStableSince(u int, epoch uint64) bool {
+	if u < 2 || u > v.ix.maxU {
+		return false
+	}
+	return v.ix.yEffEpoch(v.c, u) <= epoch
+}
+
 // ensureYGroups materialises the class's unit-u survival partition for the
 // round: the unit-u crossing bucket, dead edges dropped, survivors grouped
 // by (row, col) classification with bucket order preserved inside each
-// group. Cost is two passes over the bucket, paid once per (round, class,
-// unit) and shared by every (τA, τB) pair BuildDelta assembles from it.
+// group. Cost is two passes over the bucket, paid once per (class, unit) —
+// and, since PR 7, not even per round: a partition whose inputs are
+// unchanged since it was built (yEffEpoch at or before its ygEpoch) is
+// revalidated across the BeginRound redraw instead of rebuilt, keyed by the
+// crossing-status delta clock rather than the round stamp.
 func (x *IncIndex) ensureYGroups(c, u int) (map[uint16]ygSpan, []graph.Edge) {
 	if x.ygStamp[c][u] == x.stamp {
 		return x.ygSpan[c][u], x.ygFlat[c][u]
 	}
+	if x.ygSpan[c][u] != nil && x.ygEpoch[c][u] > 0 && x.yEffEpoch(c, u) <= x.ygEpoch[c][u] {
+		// Cross-round reuse: nothing the partition depends on changed since
+		// it was last (re)built, so last round's grouping is this round's,
+		// bit for bit.
+		x.ygStamp[c][u] = x.stamp
+		x.ygEpoch[c][u] = x.epoch
+		return x.ygSpan[c][u], x.ygFlat[c][u]
+	}
 	x.ygStamp[c][u] = x.stamp
+	x.ygEpoch[c][u] = x.epoch
 	x.ensureProbe(c)
 	spans := x.ygSpan[c][u]
 	if spans == nil {

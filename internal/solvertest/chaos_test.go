@@ -13,14 +13,19 @@ import (
 // family, under fault injection at several rates (including saturation,
 // where every reachable site fires on every call), must neither error nor
 // panic and must produce the naive reference's bit-identical matching
-// every round. The Fallback* gate below ("faults actually flowed through
-// the build and solve rungs") is asserted over the aggregate, since which
-// sites get exercised shifts with the rate — at saturation the injected
-// worker panics quarantine every class before the deeper rungs are
-// reached.
+// every round. Six rounds mean every class's delta chain spans five
+// bipartition redraws (cross-round chaining is on by default), so the
+// matrix also drives the PR 7 ChainLink hazard at the round links. The
+// Fallback* gate below ("faults actually flowed through the build and
+// solve rungs") is asserted over the aggregate, since which sites get
+// exercised shifts with the rate — at saturation the injected worker
+// panics quarantine every class before the deeper rungs are reached, and
+// ChainLink is provably unreachable there (DeltaStale sits earlier in
+// BuildDelta and fires on every call first), so its gate aggregates over
+// the sub-saturation rates.
 func TestChaosLadderBitIdentical(t *testing.T) {
 	var agg core.Stats
-	var fired uint64
+	var fired, chainFired uint64
 	for _, rate := range []float64{0.01, 0.10, 1.0} {
 		rate := rate
 		t.Run(fmt.Sprintf("rate=%g", rate), func(t *testing.T) {
@@ -38,6 +43,9 @@ func TestChaosLadderBitIdentical(t *testing.T) {
 				agg.FallbackSweeps += sC.FallbackSweeps
 				agg.FallbackResets += sC.FallbackResets
 				rateFired += inj.FiredTotal()
+				if rate < 1 {
+					chainFired += inj.Fired(faultinject.ChainLink)
+				}
 			}
 			if rateFired == 0 {
 				t.Errorf("rate %g: injector never fired — hazard sites unreachable?", rate)
@@ -58,6 +66,9 @@ func TestChaosLadderBitIdentical(t *testing.T) {
 	}
 	if agg.FallbackSweeps == 0 {
 		t.Errorf("no sweep-rung fallbacks across the matrix (dirty-gate damage not exercised): %+v", agg)
+	}
+	if chainFired == 0 {
+		t.Errorf("ChainLink never fired at the sub-saturation rates — cross-round links not exercised: %+v", agg)
 	}
 }
 

@@ -309,6 +309,34 @@ func TestDeltaDisabledBitIdentical(t *testing.T) {
 	}
 }
 
+// TestCrossRoundBitIdentical is the PR 7 differential over the whole
+// generator matrix: chaining delta baselines across the bipartition redraw
+// (the default) must be bit-identical — matching bytes, gain, and the full
+// phase/call counts — to the round-local chain (CrossRoundCutover = −1) on
+// every family, while actually crossing a round boundary somewhere in the
+// matrix. The baseline's cross counters must stay zero, pinning the knob's
+// off semantics (Invariant 24).
+func TestCrossRoundBitIdentical(t *testing.T) {
+	crossBuilds := 0
+	for _, w := range Workloads(rand.New(rand.NewSource(61))) {
+		sOn, sOff := AssertBitIdentical(t, w,
+			core.Options{Amortize: true},
+			core.Options{Amortize: true, CrossRoundCutover: -1},
+			62, 6)
+		if sOn.SolverPhases != sOff.SolverPhases || sOn.SolverCalls != sOff.SolverCalls {
+			t.Errorf("%s: solver effort diverged: phases %d/%d calls %d/%d",
+				w.Name, sOn.SolverPhases, sOff.SolverPhases, sOn.SolverCalls, sOff.SolverCalls)
+		}
+		if sOff.CrossRoundDeltaBuilds != 0 || sOff.CrossRoundRepairs != 0 {
+			t.Errorf("%s: CrossRoundCutover=-1 still linked across rounds: %+v", w.Name, sOff)
+		}
+		crossBuilds += sOn.CrossRoundDeltaBuilds
+	}
+	if crossBuilds == 0 {
+		t.Fatal("no workload's chain survived the bipartition redraw")
+	}
+}
+
 // TestClassesSkippedDirtyExact pins the dirty-gate counter: for every round
 // the amortised Runner executes, a twin Rng replays the identical
 // bipartition and recomputes, class by class from from-scratch BucketIndex
