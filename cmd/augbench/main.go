@@ -5,12 +5,14 @@
 //
 //	augbench [-experiment E1,E4] [-seed 1] [-trials 5] [-quick] [-amortize] [-json FILE]
 //
-// With no -experiment flag every experiment (E1..E15) runs. With -json the
-// tables are additionally written to FILE as machine-readable JSON (the
-// BENCH_*.json format the perf ledger tracks across PRs). -amortize routes
-// the reduction-driven experiments through the cross-round amortised
-// pipeline (bit-identical results; the E12b counters table shows the probe
-// and cache activity).
+// With no -experiment flag every registered experiment runs (currently
+// E1..E18 — the registry in internal/bench is the authority, and an
+// unknown id's error message lists it). With -json the tables are
+// additionally written to FILE as machine-readable JSON (the BENCH_*.json
+// format the perf ledger tracks across PRs). -amortize routes the
+// reduction-driven experiments through the cross-round amortised pipeline
+// (bit-identical results; the E12b counters table shows the probe and
+// cache activity).
 package main
 
 import (
@@ -48,17 +50,37 @@ type jsonReport struct {
 	Tables   []jsonTable `json:"tables"`
 }
 
-func run(args []string) error {
+// flags is augbench's parsed flag surface.
+type flags struct {
+	experiments string
+	seed        int64
+	trials      int
+	quick       bool
+	amortize    bool
+	jsonPath    string
+}
+
+// newFlagSet declares augbench's flags over f. Split from run so the
+// golden -help test renders the identical usage text the binary prints.
+func newFlagSet(f *flags) *flag.FlagSet {
 	fs := flag.NewFlagSet("augbench", flag.ContinueOnError)
-	experiments := fs.String("experiment", "", "comma-separated experiment ids (default: all)")
-	seed := fs.Int64("seed", 1, "random seed")
-	trials := fs.Int("trials", 5, "trials per table row")
-	quick := fs.Bool("quick", false, "shrink instance sizes")
-	amortize := fs.Bool("amortize", false, "use the cross-round amortised solving pipeline")
-	jsonPath := fs.String("json", "", "also write the tables as JSON to this file")
+	fs.StringVar(&f.experiments, "experiment", "", "comma-separated experiment ids (default: all)")
+	fs.Int64Var(&f.seed, "seed", 1, "random seed")
+	fs.IntVar(&f.trials, "trials", 5, "trials per table row")
+	fs.BoolVar(&f.quick, "quick", false, "shrink instance sizes")
+	fs.BoolVar(&f.amortize, "amortize", false, "use the cross-round amortised solving pipeline")
+	fs.StringVar(&f.jsonPath, "json", "", "also write the tables as JSON to this file")
+	return fs
+}
+
+func run(args []string) error {
+	var f flags
+	fs := newFlagSet(&f)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	experiments, seed, trials := &f.experiments, &f.seed, &f.trials
+	quick, amortize, jsonPath := &f.quick, &f.amortize, &f.jsonPath
 
 	cfg := bench.Config{Seed: *seed, Trials: *trials, Quick: *quick, Amortize: *amortize}
 	registry := bench.Registry()

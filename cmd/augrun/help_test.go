@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestHelpGolden pins the -help output (the full flag surface with
+// defaults and doc strings) against testdata/help.golden, so a flag added
+// to the code without its documentation — or a doc string drifting from
+// the behaviour it describes — fails visibly here instead of silently
+// shipping. Regenerate with UPDATE_GOLDEN=1 go test ./cmd/augrun/ -run
+// TestHelpGolden after an intentional change.
+func TestHelpGolden(t *testing.T) {
+	var f flags
+	fs := newFlagSet(&f)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.Usage()
+	const path = "testdata/help.golden"
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-help output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,248 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// postJSON posts v to url and decodes the JSON response into out.
+func postJSON(t *testing.T, url string, v any, out any) *http.Response {
+	t.Helper()
+	var body bytes.Buffer
+	if v != nil {
+		if err := json.NewEncoder(&body).Encode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeSmoke is the CI smoke: start the server, drive a scripted
+// mutation batch through /mutate + /tick, and assert (a) the resulting
+// weight equals a cold Solve on the post-edit graph — the service is just
+// the dynamic pipeline behind HTTP — and (b) the stats ledger's fallback
+// row is clean: nothing in the scripted run degraded.
+func TestServeSmoke(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := graph.RandomGraph(40, 160, 64, rng)
+	cfg := config{seed: 9}
+	cfg.opts = cfg.options()
+	s := newServer(inst.G.Clone(), cfg)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+
+	// Scripted batch: one insert, one delete, one reweight — applied to a
+	// twin graph by hand for the cold-solve comparison below.
+	twin := inst.G.Clone()
+	e0, e1 := twin.EdgeAt(0), twin.EdgeAt(1)
+	muts := []mutationReq{
+		{Op: "insert", U: 2, V: 37, W: 99},
+		{Op: "delete", U: e0.U, V: e0.V},
+		{Op: "reweight", U: e1.U, V: e1.V, W: e1.W + 17},
+	}
+	if err := twin.AddEdge(graph.Edge{U: 2, V: 37, W: 99}); err != nil {
+		t.Fatal(err)
+	}
+	i, _ := twin.FindEdge(e0.U, e0.V)
+	if _, err := twin.RemoveEdgeAt(i); err != nil {
+		t.Fatal(err)
+	}
+	i, _ = twin.FindEdge(e1.U, e1.V)
+	if err := twin.SetEdgeWeight(i, e1.W+17); err != nil {
+		t.Fatal(err)
+	}
+
+	var queued struct{ Queued int }
+	postJSON(t, ts.URL+"/mutate", muts, &queued)
+	if queued.Queued != 3 {
+		t.Fatalf("queued = %d, want 3", queued.Queued)
+	}
+	var tick struct {
+		Tick, Applied int
+		Weight        int64
+		Size          int
+	}
+	postJSON(t, ts.URL+"/tick", nil, &tick)
+	if tick.Applied != 3 || tick.Tick != 1 {
+		t.Fatalf("tick = %+v, want 3 ops applied on tick 1", tick)
+	}
+
+	// The batch landed before any round, so the converged weight must be a
+	// cold Solve's on the post-edit graph under the same seed (the counting
+	// source draws from the very generator rand.NewSource yields).
+	cold, err := core.Solve(twin, nil, core.Options{
+		Amortize: true, Rng: rand.New(rand.NewSource(9)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tick.Weight != int64(cold.M.Weight()) {
+		t.Fatalf("served weight %d != cold solve weight %d on post-edit graph", tick.Weight, cold.M.Weight())
+	}
+
+	var matching struct {
+		Weight int64
+		Size   int
+		M      int
+		Edges  []mutationReq
+	}
+	getJSON(t, ts.URL+"/matching", &matching)
+	if matching.Weight != tick.Weight || matching.Size != tick.Size {
+		t.Fatalf("/matching %+v disagrees with /tick %+v", matching, tick)
+	}
+	if matching.M != twin.M() {
+		t.Fatalf("graph has %d edges, want %d after the batch", matching.M, twin.M())
+	}
+
+	counters := map[string]int64{}
+	getJSON(t, ts.URL+"/stats", &counters)
+	if counters["mutations-applied"] != 3 {
+		t.Errorf("mutations-applied = %d, want 3", counters["mutations-applied"])
+	}
+	if counters["rounds"] == 0 {
+		t.Error("no rounds recorded")
+	}
+	for name, v := range counters {
+		if strings.HasPrefix(name, "fallback-") && v != 0 {
+			t.Errorf("dirty fallback row: %s = %d", name, v)
+		}
+	}
+}
+
+// TestServeSnapshotRestart pins the restart story: snapshot a served run,
+// bring up a second server resuming from it, and drive both with the same
+// further batch — the restarted server must continue bit-identically
+// (same weights, same matching edges), because the checkpoint pins the
+// graph, matching, stats, and Rng stream position.
+func TestServeSnapshotRestart(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	inst := graph.RandomGraph(30, 120, 32, rng)
+	snap := filepath.Join(t.TempDir(), "serve.snap")
+	cfg := config{seed: 11, snapshot: snap}
+	cfg.opts = cfg.options()
+
+	s1 := newServer(inst.G.Clone(), cfg)
+	ts1 := httptest.NewServer(s1.handler())
+	defer ts1.Close()
+
+	postJSON(t, ts1.URL+"/mutate", []mutationReq{{Op: "insert", U: 1, V: 28, W: 50}}, nil)
+	postJSON(t, ts1.URL+"/tick", nil, nil)
+	var snapResp struct{ Tick int }
+	postJSON(t, ts1.URL+"/snapshot", nil, &snapResp)
+	if snapResp.Tick != 1 {
+		t.Fatalf("snapshot at tick %d, want 1", snapResp.Tick)
+	}
+
+	cfg2 := cfg
+	cfg2.resume = true
+	// The resumed server's input graph is ignored in favour of the
+	// checkpoint's post-edit graph; hand it the stale original to prove it.
+	s2 := newServer(inst.G.Clone(), cfg2)
+	if !s2.resumed {
+		t.Fatalf("server did not resume (cold: %s)", s2.coldMsg)
+	}
+	ts2 := httptest.NewServer(s2.handler())
+	defer ts2.Close()
+
+	// Same continuation on both: delete one matched edge, re-converge.
+	var m1 struct{ Edges []mutationReq }
+	getJSON(t, ts1.URL+"/matching", &m1)
+	if len(m1.Edges) == 0 {
+		t.Fatal("no matched edges to continue with")
+	}
+	cont := []mutationReq{{Op: "delete", U: m1.Edges[0].U, V: m1.Edges[0].V}}
+	var t1, t2 struct {
+		Weight int64
+		Size   int
+	}
+	postJSON(t, ts1.URL+"/mutate", cont, nil)
+	postJSON(t, ts1.URL+"/tick", nil, &t1)
+	postJSON(t, ts2.URL+"/mutate", cont, nil)
+	postJSON(t, ts2.URL+"/tick", nil, &t2)
+	if t1 != t2 {
+		t.Fatalf("continuations diverge: original %+v vs restarted %+v", t1, t2)
+	}
+	var e1, e2 struct{ Edges []mutationReq }
+	getJSON(t, ts1.URL+"/matching", &e1)
+	getJSON(t, ts2.URL+"/matching", &e2)
+	if fmt.Sprint(e1) != fmt.Sprint(e2) {
+		t.Fatalf("matchings diverge after restart:\n%v\nvs\n%v", e1, e2)
+	}
+}
+
+// TestServeErrors pins the failure surface: a bad op is a 400, a snapshot
+// without a configured path is a 400, and a delete of a nonexistent edge
+// surfaces in the tick response without killing the server.
+func TestServeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst := graph.RandomGraph(10, 20, 16, rng)
+	cfg := config{seed: 2}
+	cfg.opts = cfg.options()
+	s := newServer(inst.G.Clone(), cfg)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	if resp := postJSON(t, ts.URL+"/mutate", []mutationReq{{Op: "sideways"}}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad op: status %d, want 400", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/snapshot", nil, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("snapshot without path: status %d, want 400", resp.StatusCode)
+	}
+	postJSON(t, ts.URL+"/mutate", []mutationReq{{Op: "delete", U: 0, V: 9}}, nil)
+	var tick struct {
+		Error string
+		Tick  int
+	}
+	postJSON(t, ts.URL+"/tick", nil, &tick)
+	if _, ok := inst.G.FindEdge(0, 9); !ok {
+		if tick.Error == "" {
+			t.Error("delete of nonexistent edge reported no error")
+		}
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("server unhealthy after failed tick: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+}

@@ -107,6 +107,7 @@ func Registry() map[string]Runner {
 		"E15": E15DeltaBuild,
 		"E16": E16RepairHK,
 		"E17": E17CrossRound,
+		"E18": E18EditStream,
 	}
 }
 

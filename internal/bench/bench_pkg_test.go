@@ -10,7 +10,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
 	}
@@ -131,5 +131,34 @@ func TestE12bCountersComplete(t *testing.T) {
 	}
 	if len(counters.Rows) == 0 || len(counters.Rows[0]) != len(counters.Header) {
 		t.Fatal("E12b rows do not match its header")
+	}
+}
+
+// TestE18EditStreamHonest keeps the E18 table honest: rows come in
+// persistent/rebuild pairs that agree on the final weight (the harness
+// surfaces a divergence as an extra DIVERGED row, which must never
+// appear), and the persistent side of every regime absorbed at least one
+// edit through a surviving cross-round chain (MutationDeltaBuilds > 0)
+// rather than resetting per update.
+func TestE18EditStreamHonest(t *testing.T) {
+	tables := E18EditStream(Config{Seed: 1, Trials: 1, Quick: true})
+	rows := tables[0].Rows
+	if len(rows)%2 != 0 || len(rows) == 0 {
+		t.Fatalf("E18 rows not in persistent/rebuild pairs: %d rows", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		pers, reb := rows[i], rows[i+1]
+		if pers[1] == "DIVERGED" || reb[1] == "DIVERGED" {
+			t.Fatalf("%s: configurations diverged", pers[0])
+		}
+		if pers[1] != "persistent" || reb[1] != "rebuild" {
+			t.Fatalf("row order drifted: %q then %q", pers[1], reb[1])
+		}
+		if pers[7] != reb[7] {
+			t.Errorf("%s: final weight diverged: %s vs %s", pers[0], pers[7], reb[7])
+		}
+		if pers[5] == "0" {
+			t.Errorf("%s: persistent run absorbed no edit through a cross-round chain", pers[0])
+		}
 	}
 }

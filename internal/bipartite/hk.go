@@ -4,6 +4,22 @@
 // semi-streaming implementation (the [AG13]/[EKMS12] stand-in of Theorem
 // 1.2(2)), and an MPC implementation with round counting (the [GGK+18]
 // stand-in of Theorem 1.2(1)).
+//
+// # Incremental repair
+//
+// For the amortised pipeline the exact solver also runs retained:
+// HopcroftKarpRetained keeps the adjacency CSR and result arena of each
+// solve, and RepairHK patches that retained state into the next
+// instance's solve when the caller proves (via layered.DeltaInfo, which
+// names the baseline build and the byte-shared suffix of the L' edge
+// list) that most of the instance is unchanged. The repaired solve is
+// bit-identical to a fresh one — same matching, same phase count —
+// because the patched CSR is byte-identical to the rebuilt one (Invariant
+// 21). A baseline that is missing, foreign, or inconsistent is rejected
+// with one of the three ErrRepair* sentinels (NoBase, Stale, Info) and
+// the caller re-solves cold — the solver rung of core's degradation
+// ladder; together with the five layered.ErrDelta* sentinels these are
+// the ladder's eight recoverable sentinels.
 package bipartite
 
 import (

@@ -12,6 +12,47 @@
 // decomposition, and finally the per-class augmentation sets are applied
 // greedily from the heaviest class down. Iterating rounds until the gain
 // stalls yields the (1−ε)-approximation of Theorem 1.2.
+//
+// # The amortised pipeline
+//
+// With Options.Amortize a persistent Runner maintains cross-round state
+// that makes every round after the first differential: the incremental
+// viability index (layered.IncIndex) re-derives only the buckets a redraw
+// or an augmentation touched; within and across rounds each class chains
+// its layered-graph builds through layered.BuildDelta, patching the
+// previous build instead of rebuilding (the layered.RoundChainer interface
+// is how BuildDelta proves a cross-round baseline fresh); and the default
+// exact solver retains its adjacency CSR per class so a delta-built pair
+// repairs the previous solve (bipartite.RepairHK) instead of re-solving.
+// Every differential layer is bit-identical to its from-scratch
+// counterpart by construction, and the differential suite in
+// internal/solvertest asserts it family by family.
+//
+// # The degradation ladder
+//
+// Retained state can go stale or corrupt (and the chaos suite forces it
+// to): each amortised layer checks its baseline and degrades one rung —
+// never to an error. A rejected delta baseline (the five layered.ErrDelta*
+// sentinels) rebuilds from scratch; a rejected repair baseline (the three
+// bipartite.ErrRepair* sentinels) re-solves cold; a cache entry failing
+// its checksum is evicted and re-solved; a poisoned class context is
+// quarantined for the rest of the Solve; a worker panic resets the whole
+// amortised context. The eight sentinels are the recoverable contract:
+// Stats.Fallback* counters record every rung taken, and results stay
+// bit-identical because each rung's cold path is the definition the warm
+// path is proved against.
+//
+// # Dynamic graphs and restarts
+//
+// Between rounds the graph may change: Runner.ApplyMutations applies a
+// MutationBatch (inserts, deletes, reweights) through the index's edit
+// protocol, charging the same per-(class, unit) change clocks a
+// bipartition redraw stamps, so the next Round is bit-identical to a cold
+// solve on the post-edit graph; Runner.Tick is the service loop step
+// (apply a batch, re-converge). Checkpoint/ResumeSolve persist a run's
+// generators — graph, matching, counters, Rng stream position — and
+// rebuild the amortised context on resume, the same rebuild-twin
+// equivalence the ladder's reset rung relies on.
 package core
 
 import (
@@ -338,6 +379,23 @@ type Stats struct {
 	// per-class rungs; a second failure disables amortisation for the rest
 	// of the Solve rather than erroring.
 	FallbackResets int
+	// MutationsApplied counts graph edits — inserts, deletes, reweights —
+	// applied through Runner.ApplyMutations (the fully-dynamic mutation
+	// stream; always 0 for a static Solve).
+	MutationsApplied int
+	// MutationDeltaBuilds counts the subset of CrossRoundDeltaBuilds whose
+	// chain crossed a mutation boundary: delta builds in the first round
+	// after a non-empty batch, whose baseline predates the edits and
+	// survived them through the stability gates. This is the "links
+	// dominate builds" signal of the edit regime.
+	MutationDeltaBuilds int
+	// MutationIndexResets counts amortised-state rebuilds forced by an edit
+	// that moved the class-weight ladder (the graph's minimum or maximum
+	// edge weight changed): the whole index geometry derives from the
+	// ladder, so absorbing such an edit in place would be unsound. Counted
+	// on the naive path too (as a ladder recomputation) so the counter is
+	// comparable between paths.
+	MutationIndexResets int
 	// AppliedAugmentations counts augmentations applied to the matching.
 	AppliedAugmentations int
 	// Gain is the total weight gained over the initial matching.
@@ -549,15 +607,22 @@ func newClassWorker(opts Options) *classWorker {
 // cross-round amortised state (Options.Amortize) between them: the inner
 // loop of Solve, exposed so that incremental workloads and the differential
 // suite can drive rounds one at a time. A Runner is not safe for concurrent
-// use; the graph must not gain edges during the runner's life (the
-// incremental index aliases its edge slice), and the matching passed to
-// Round must be the one the previous Round mutated (the incremental index
-// syncs to it by delta).
+// use; the graph must not change during the runner's life except through
+// ApplyMutations between rounds (the incremental index aliases its edge
+// slice and absorbs edits via the change clocks), and the matching passed
+// to Round must be the one the previous Round (or ApplyMutations) mutated
+// — the incremental index syncs to it by delta.
 type Runner struct {
 	g       *graph.Graph
 	opts    Options
 	weights []float64
 	am      *amortizer
+
+	// mutPending is set by ApplyMutations after a non-empty batch and
+	// cleared by the next Round, which attributes that round's cross-round
+	// delta builds to Stats.MutationDeltaBuilds (their baselines predate
+	// the edits, so every link crossed the mutation boundary).
+	mutPending bool
 }
 
 // NewRunner prepares a round runner for g. With opts.Amortize the
@@ -596,6 +661,13 @@ func Round(g *graph.Graph, m *graph.Matching, opts Options, stats *Stats) (graph
 // state; see the package-level Round.
 func (r *Runner) Round(m *graph.Matching, stats *Stats) (graph.Weight, error) {
 	g, opts, weights := r.g, r.opts, r.weights
+
+	// First round after a mutation batch: every cross-round link this round
+	// has a baseline predating the edits, so the round's CrossRoundDeltaBuilds
+	// delta is exactly the chain traffic that crossed the mutation boundary.
+	mutBoundary := r.mutPending
+	preMutCRDB := stats.CrossRoundDeltaBuilds
+	r.mutPending = false
 
 	// One random bipartition per round, shared by every class (the paper
 	// parametrises per run of Algorithm 4; sharing only correlates classes,
@@ -765,6 +837,9 @@ func (r *Runner) Round(m *graph.Matching, stats *Stats) (graph.Weight, error) {
 	stats.AppliedAugmentations += applied
 	stats.Gain += gain
 	stats.Rounds++
+	if mutBoundary {
+		stats.MutationDeltaBuilds += stats.CrossRoundDeltaBuilds - preMutCRDB
+	}
 	return gain, nil
 }
 

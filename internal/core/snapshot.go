@@ -141,6 +141,17 @@ func (m CheckpointMeta) compatible(other CheckpointMeta) bool {
 	return m == other
 }
 
+// MetaOf fingerprints opts the way SolveCheckpointed does, for callers
+// assembling their own Checkpoint — the augserve tick loop persists tick
+// counts rather than Solve rounds, but shares the container format and the
+// resume-compatibility rule.
+func MetaOf(opts Options) CheckpointMeta { return metaOf(opts) }
+
+// Compatible reports whether a checkpoint taken under m may resume under
+// other: equal in everything but the worker count (results are invariant
+// under the pool size, so a resume may rescale it freely).
+func (m CheckpointMeta) Compatible(other CheckpointMeta) bool { return m.compatible(other) }
+
 // Checkpoint is the persisted state of an in-flight Solve, taken between
 // rounds. See the file comment for what is (and deliberately is not)
 // persisted.

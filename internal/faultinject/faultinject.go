@@ -6,9 +6,10 @@
 // plus a seed-keyed injector that fires each site at a configured rate.
 //
 // Every injected fault is DETECTABLE by construction: a site either raises
-// the hazard's checked sentinel (ErrDeltaStale, ErrRepairStale, ...),
-// corrupts state that a checksum self-check covers (cache digests, the
-// dirty bitmap), or panics where the worker pool recovers. The degradation
+// one of the ladder's eight recoverable sentinels (the five
+// layered.ErrDelta* baseline rejections and the three bipartite.ErrRepair*
+// ones), corrupts state that a checksum self-check covers (cache digests,
+// the dirty bitmap), or panics where the worker pool recovers. The degradation
 // ladder in internal/core must then quarantine the damaged state and
 // re-run the affected pair/class/round through the cold path, so a chaos
 // run returns the bit-identical matching of an uninjected run — which is

@@ -1,0 +1,92 @@
+package graph
+
+// Mutable edge store: the graph-side half of the fully-dynamic mutation
+// stream (PR 8). A Graph's edge slice is append-ordered and most of the
+// repository treats that order as canonical — bucket contents, layered
+// builds, and the differential suite's bit-identity claims are all stated
+// relative to it — so the mutation primitives commit to simple,
+// deterministic order semantics:
+//
+//   - insert appends (AddEdge, unchanged),
+//   - delete swap-removes (the last edge moves into the deleted slot),
+//   - reweight edits in place (no reorder).
+//
+// A "cold solve on the post-edit graph" therefore means a solve over
+// exactly the edge sequence these semantics leave behind; callers keeping
+// derived per-edge state in sync (layered.IncIndex) are told which index
+// moved so they can remap in O(band).
+
+import "fmt"
+
+// EdgeAt returns the edge at index i of Edges().
+func (g *Graph) EdgeAt(i int) Edge { return g.edges[i] }
+
+// FindEdge returns the index of the first edge joining u and v (in either
+// orientation), or ok = false when no such edge exists. With parallel
+// edges the lowest index wins — the same edge a delete or reweight by
+// endpoints addresses.
+func (g *Graph) FindEdge(u, v int) (i int, ok bool) {
+	for i, e := range g.edges {
+		if (e.U == u && e.V == v) || (e.U == v && e.V == u) {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// SetEdgeWeight replaces the weight of the edge at index i, validating it
+// like AddEdge would. The edge keeps its index, so derived per-edge state
+// needs no remap — only the weight-dependent parts (class windows) change.
+func (g *Graph) SetEdgeWeight(i int, w Weight) error {
+	if i < 0 || i >= len(g.edges) {
+		return fmt.Errorf("%w: edge index %d (m=%d)", ErrVertexRange, i, len(g.edges))
+	}
+	if w <= 0 {
+		return fmt.Errorf("%w: reweight to %d", ErrNonPositiveWeight, w)
+	}
+	g.edges[i].W = w
+	g.adj = nil
+	return nil
+}
+
+// RemoveEdgeAt deletes the edge at index i by swap-remove: the last edge
+// moves into slot i (unless i was last) and the slice shrinks by one.
+// moved is the pre-delete index of the edge now living at i, or -1 when no
+// edge moved — the remap notification derived per-edge state (the
+// incremental index's window slots) consumes.
+func (g *Graph) RemoveEdgeAt(i int) (moved int, err error) {
+	if i < 0 || i >= len(g.edges) {
+		return -1, fmt.Errorf("%w: edge index %d (m=%d)", ErrVertexRange, i, len(g.edges))
+	}
+	last := len(g.edges) - 1
+	moved = -1
+	if i != last {
+		g.edges[i] = g.edges[last]
+		moved = last
+	}
+	g.edges = g.edges[:last]
+	g.adj = nil
+	return moved, nil
+}
+
+// Clone returns a deep copy of the graph (the adjacency cache is not
+// copied; it re-materialises on first use).
+func (g *Graph) Clone() *Graph {
+	return &Graph{n: g.n, edges: g.CopyEdges()}
+}
+
+// Reweight updates the stored weight of the matched pair (u, v) to w,
+// keeping the total in sync — the matching-side companion of
+// Graph.SetEdgeWeight for edges that are currently matched. It errors when
+// the pair is not matched or w is non-positive.
+func (m *Matching) Reweight(u, v int, w Weight) error {
+	if u == v || m.mate[u] != v {
+		return fmt.Errorf("%w: (%d,%d)", ErrNotMatched, u, v)
+	}
+	if w <= 0 {
+		return fmt.Errorf("%w: reweight to %d", ErrNonPositiveWeight, w)
+	}
+	m.total += w - m.w[u]
+	m.w[u], m.w[v] = w, w
+	return nil
+}

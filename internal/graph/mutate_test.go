@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFindEdge(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(2, 3, 7)
+	g.MustAddEdge(1, 2, 3)
+
+	if i, ok := g.FindEdge(1, 0); !ok || i != 0 {
+		t.Fatalf("FindEdge(1,0) = %d,%t; want 0,true", i, ok)
+	}
+	if i, ok := g.FindEdge(2, 3); !ok || i != 1 {
+		t.Fatalf("FindEdge(2,3) = %d,%t; want 1,true", i, ok)
+	}
+	if _, ok := g.FindEdge(0, 3); ok {
+		t.Fatal("FindEdge(0,3) found a nonexistent edge")
+	}
+}
+
+func TestSetEdgeWeight(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 5)
+	g.Adjacency() // materialise the cache so the test can observe invalidation
+
+	if err := g.SetEdgeWeight(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if w := g.EdgeAt(0).W; w != 9 {
+		t.Fatalf("weight after reweight = %d; want 9", w)
+	}
+	if got := g.Adjacency()[0][0].W; got != 9 {
+		t.Fatalf("adjacency cache not invalidated: weight %d; want 9", got)
+	}
+	if err := g.SetEdgeWeight(0, 0); !errors.Is(err, ErrNonPositiveWeight) {
+		t.Fatalf("reweight to 0: err = %v; want ErrNonPositiveWeight", err)
+	}
+	if err := g.SetEdgeWeight(5, 1); err == nil {
+		t.Fatal("reweight out of range: want error")
+	}
+}
+
+func TestRemoveEdgeAtSwapSemantics(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(2, 3, 3)
+	g.MustAddEdge(3, 4, 4)
+
+	moved, err := g.RemoveEdgeAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 3 {
+		t.Fatalf("moved = %d; want 3 (last edge into slot 1)", moved)
+	}
+	want := []Edge{{U: 0, V: 1, W: 1}, {U: 3, V: 4, W: 4}, {U: 2, V: 3, W: 3}}
+	if got := g.Edges(); len(got) != len(want) {
+		t.Fatalf("edges = %v; want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("edges[%d] = %v; want %v", i, got[i], want[i])
+			}
+		}
+	}
+
+	// Removing the last edge moves nothing.
+	moved, err = g.RemoveEdgeAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != -1 {
+		t.Fatalf("moved = %d; want -1 for the last slot", moved)
+	}
+	if g.M() != 2 {
+		t.Fatalf("m = %d; want 2", g.M())
+	}
+	if _, err := g.RemoveEdgeAt(7); err == nil {
+		t.Fatal("remove out of range: want error")
+	}
+}
+
+func TestGraphClone(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 5)
+	c := g.Clone()
+	g.MustAddEdge(1, 2, 7)
+	if err := g.SetEdgeWeight(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if c.M() != 1 || c.EdgeAt(0).W != 5 {
+		t.Fatalf("clone mutated alongside original: %v", c.Edges())
+	}
+}
+
+func TestMatchingReweight(t *testing.T) {
+	m := NewMatching(4)
+	if err := m.Add(Edge{U: 0, V: 1, W: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(Edge{U: 2, V: 3, W: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reweight(1, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if m.Weight() != 12 {
+		t.Fatalf("weight = %d; want 12", m.Weight())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reweight(0, 2, 1); !errors.Is(err, ErrNotMatched) {
+		t.Fatalf("reweight of unmatched pair: err = %v; want ErrNotMatched", err)
+	}
+	if err := m.Reweight(0, 1, 0); !errors.Is(err, ErrNonPositiveWeight) {
+		t.Fatalf("reweight to 0: err = %v; want ErrNonPositiveWeight", err)
+	}
+}

@@ -63,13 +63,21 @@ type IncIndex struct {
 	maxU  int
 
 	// bSlots, flattened: edge i is live for classes
-	// bStart[i] .. bStart[i]+len(units)-1 with units
-	// bUnits[bOff[i]:bOff[i+1]].
-	bOff   []int32
-	bStart []int32
-	bUnits []uint8
+	// bStart[i] .. bStart[i]+bLen[i]-1 with units
+	// bUnits[bOff[i] : bOff[i]+bLen[i]]. Bands are edit-friendly (PR 8):
+	// a reweight abandons its old bUnits segment and appends a fresh one,
+	// so bOff is not monotone after edits; bDead counts abandoned slots and
+	// maybeCompactBands reclaims them once they dominate.
+	bOff    []int32
+	bStart  []int32
+	bLen    []int32
+	bUnits  []uint8
+	bDead   int
+	bandBuf []uint8 // scratch for bandOf
 	// bAll[c][u] lists the edge indices (ascending) whose class-c unmatched
-	// unit is u; the static superset the per-round B buckets filter.
+	// unit is u; the static superset the per-round B buckets filter. Edits
+	// keep the ascending order (bucket order is edge-index order, the order
+	// a fresh index reproduces).
 	bAll [][][]int32
 
 	// matched is the delta-maintained matched-edge list in par.A order
@@ -220,7 +228,9 @@ func CanIndexIncrementally(prm Params) bool {
 // which must satisfy CanIndexIncrementally (NewIncIndex panics otherwise:
 // a wrapped unit would not fail loudly, it would return wrong buckets).
 // The edge slice is aliased and must not change during the index's life
-// (the reduction never mutates the graph mid-Solve).
+// except through the edit protocol (BeginEdits/Note*/EndEdits, which
+// re-alias the post-edit slice); the reduction itself never mutates the
+// graph mid-Solve.
 func NewIncIndex(n int, edges []graph.Edge, ws []float64, prm Params) *IncIndex {
 	prm = prm.WithDefaults()
 	maxU, _ := prm.Units()
@@ -229,33 +239,23 @@ func NewIncIndex(n int, edges []graph.Edge, ws []float64, prm Params) *IncIndex 
 	}
 	x := &IncIndex{n: n, edges: edges, ws: ws, prm: prm, maxU: maxU}
 
-	x.bOff = make([]int32, len(edges)+1)
+	x.bOff = make([]int32, len(edges))
 	x.bStart = make([]int32, len(edges))
+	x.bLen = make([]int32, len(edges))
 	x.bAll = make([][][]int32, len(ws))
 	for c := range x.bAll {
 		x.bAll[c] = make([][]int32, maxU+1)
 	}
 	for i, e := range edges {
+		start, units := x.bandOf(e.W)
 		x.bOff[i] = int32(len(x.bUnits))
-		x.bStart[i] = -1
-		// floor(w/(gW)) is nondecreasing as W descends: skip classes below
-		// unit 2, collect the contiguous live band, stop past maxU.
-		for c, w := range ws {
-			u := int(math.Floor(float64(e.W) / (prm.Granularity * w)))
-			if u < 2 {
-				continue
-			}
-			if u > maxU {
-				break
-			}
-			if x.bStart[i] < 0 {
-				x.bStart[i] = int32(c)
-			}
-			x.bUnits = append(x.bUnits, uint8(u))
-			x.bAll[c][u] = append(x.bAll[c][u], int32(i))
+		x.bStart[i] = start
+		x.bLen[i] = int32(len(units))
+		x.bUnits = append(x.bUnits, units...)
+		for k, u := range units {
+			x.bAll[int(start)+k][u] = append(x.bAll[int(start)+k][u], int32(i))
 		}
 	}
-	x.bOff[len(edges)] = int32(len(x.bUnits))
 
 	x.aCnt = make([][]int32, len(ws))
 	x.bCnt = make([][]int32, len(ws))
@@ -339,6 +339,30 @@ func (x *IncIndex) aUnitsOf(w graph.Weight, buf []uint8) []uint8 {
 		buf = append(buf, uint8(u))
 	}
 	return buf
+}
+
+// bandOf computes the contiguous live-class band of an unmatched edge of
+// weight w: floor(w/(gW)) is nondecreasing as W descends, so the classes
+// whose unmatched window holds the weight with unit in [2, maxU] form one
+// run. start is the first live class (-1 for an empty band); units aliases
+// the index's scratch buffer and is valid until the next bandOf call.
+func (x *IncIndex) bandOf(w graph.Weight) (start int32, units []uint8) {
+	x.bandBuf = x.bandBuf[:0]
+	start = -1
+	for c, cw := range x.ws {
+		u := int(math.Floor(float64(w) / (x.prm.Granularity * cw)))
+		if u < 2 {
+			continue
+		}
+		if u > x.maxU {
+			break
+		}
+		if start < 0 {
+			start = int32(c)
+		}
+		x.bandBuf = append(x.bandBuf, uint8(u))
+	}
+	return start, x.bandBuf
 }
 
 // BeginRound points the index at the round's parametrization: it
@@ -458,7 +482,7 @@ func (x *IncIndex) BeginRound(par *Parametrized) error {
 	clear(x.dDiff)
 	x.crossB = x.crossB[:0]
 	for i, e := range x.edges {
-		if x.bOff[i] == x.bOff[i+1] {
+		if x.bLen[i] == 0 {
 			continue // in no class's τB window
 		}
 		live := par.Side[e.U] != par.Side[e.V] && !par.M.Has(e.U, e.V)
@@ -470,9 +494,9 @@ func (x *IncIndex) BeginRound(par *Parametrized) error {
 			}
 		}
 		if prev := x.ePrev[i]; prev&1 != now&1 || (now&1 != 0 && prev&2 != now&2) {
-			for s := x.bOff[i]; s < x.bOff[i+1]; s++ {
-				c := int(x.bStart[i]) + int(s-x.bOff[i])
-				x.yChg[c][x.bUnits[s]] = x.epoch
+			for k := int32(0); k < x.bLen[i]; k++ {
+				c := int(x.bStart[i]) + int(k)
+				x.yChg[c][x.bUnits[x.bOff[i]+k]] = x.epoch
 			}
 			x.ePrev[i] = now
 		}
@@ -481,7 +505,7 @@ func (x *IncIndex) BeginRound(par *Parametrized) error {
 		}
 		x.crossB = append(x.crossB, int32(i))
 		x.dDiff[x.bStart[i]]++
-		x.dDiff[int(x.bStart[i])+int(x.bOff[i+1]-x.bOff[i])]--
+		x.dDiff[int(x.bStart[i])+int(x.bLen[i])]--
 	}
 	for mi := range x.matched {
 		me := &x.matched[mi]
@@ -510,9 +534,9 @@ func (x *IncIndex) BeginRound(par *Parametrized) error {
 	// buffers — the cntStamp gate makes ACount/BCount read them as zero.
 	for _, ei := range x.crossB {
 		i := int(ei)
-		for s := x.bOff[i]; s < x.bOff[i+1]; s++ {
-			c := int(x.bStart[i]) + int(s-x.bOff[i])
-			x.bCnt[c][x.bUnits[s]]++
+		for k := int32(0); k < x.bLen[i]; k++ {
+			c := int(x.bStart[i]) + int(k)
+			x.bCnt[c][x.bUnits[x.bOff[i]+k]]++
 		}
 	}
 	for mi := range x.matched {

@@ -1,0 +1,187 @@
+package layered
+
+// Edit protocol (PR 8): the mutation-diff half of the fully-dynamic
+// pipeline. Between rounds, the graph may gain, lose, or reweight edges;
+// the index absorbs each edit by maintaining its per-edge band storage and
+// charging the touched (class, unit) buckets to the same change clocks
+// BeginRound stamps for bipartition redraws. An edit is therefore "just
+// another epoch bump": BuildDelta's stability gates (AStableSince /
+// YStableSince) and the grouped-Y revalidation see edited buckets exactly
+// as they see redrawn ones, and everything downstream — delta chaining,
+// RepairHK, the solve cache — stays bit-identical to a cold index built on
+// the post-edit graph, with no new invariants.
+//
+// The protocol is BeginEdits, then one Note* call per graph mutation in
+// application order, then EndEdits:
+//
+//   - the graph (and, for matched edges, the matching) is mutated first;
+//     the Note* call receives the post-edit edge slice and re-aliases it
+//     (an append may have reallocated the backing array);
+//   - matched-side effects need no Note at all: the matching is diffed by
+//     the next BeginRound's merge pass, which charges aChg/vChg for
+//     dropped, rematched, and reweighted entries — edits ride the same
+//     path an augmentation does;
+//   - only the unmatched window storage (bands, bAll lists, ePrev) needs
+//     explicit maintenance, and that is what the three Note methods do.
+//
+// BeginEdits bumps the epoch once for the whole batch, so every charge
+// lands strictly after the last round's builds and strictly before the
+// next round's. The protocol has BeginRound's exclusivity contract and
+// shares its busy guard: edits may not overlap a running BeginRound or
+// another edit batch (BeginEdits returns ErrBeginRoundBusy, and the caller
+// degrades through the ladder's reset rung).
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// BeginEdits opens a mutation batch: it advances the change clock by one
+// epoch so the batch's charges invalidate exactly the builds that predate
+// it. Returns ErrBeginRoundBusy — having mutated nothing — when a
+// BeginRound or another edit batch is still running on the index.
+func (x *IncIndex) BeginEdits() error {
+	if !x.busy.CompareAndSwap(0, 1) {
+		return ErrBeginRoundBusy
+	}
+	x.epoch++
+	return nil
+}
+
+// EndEdits closes a mutation batch opened by BeginEdits and reclaims the
+// band storage abandoned by deletes and reweights once dead slots dominate.
+func (x *IncIndex) EndEdits() {
+	x.maybeCompactBands()
+	x.busy.Store(0)
+}
+
+// NoteInsert records an edge appended to the graph (graph.AddEdge); edges
+// is the post-insert slice and the new edge is its last element. The new
+// edge enters every bAll list at the maximal index, so the ascending
+// bucket order a fresh index would produce is preserved, and its ePrev
+// starts zero — the next BeginRound's liveness diff charges its buckets
+// if and when it first crosses.
+func (x *IncIndex) NoteInsert(edges []graph.Edge) {
+	x.edges = edges
+	i := len(edges) - 1
+	start, units := x.bandOf(edges[i].W)
+	x.bOff = append(x.bOff, int32(len(x.bUnits)))
+	x.bStart = append(x.bStart, start)
+	x.bLen = append(x.bLen, int32(len(units)))
+	x.bUnits = append(x.bUnits, units...)
+	x.ePrev = append(x.ePrev, 0)
+	for k, u := range units {
+		c := int(start) + k
+		x.bAll[c][u] = append(x.bAll[c][u], int32(i))
+	}
+}
+
+// NoteRemove records a swap-remove of the edge that lived at index i
+// (graph.RemoveEdgeAt): moved is the pre-delete index of the edge now at i
+// (-1 when i was last) and edges is the post-delete slice. The deleted
+// edge's buckets are charged (their content shrinks), and the moved edge's
+// buckets too — its set membership is unchanged but its position in the
+// ascending bucket order moves from last place to slot i, and bucket order
+// is part of the bit-identity contract. The deleted band's bUnits slots go
+// dead; EndEdits reclaims them.
+func (x *IncIndex) NoteRemove(i, moved int, edges []graph.Edge) {
+	x.edges = edges
+	last := len(x.bOff) - 1
+	x.bumpBand(i)
+	x.bAllRemoveBand(i, int32(i))
+	x.bDead += int(x.bLen[i])
+	if moved >= 0 {
+		x.bumpBand(moved)
+		x.bAllRemoveBand(moved, int32(moved))
+		off, st := x.bOff[moved], int(x.bStart[moved])
+		for k := int32(0); k < x.bLen[moved]; k++ {
+			x.bAllInsert(st+int(k), x.bUnits[off+k], int32(i))
+		}
+		x.bOff[i] = x.bOff[last]
+		x.bStart[i] = x.bStart[last]
+		x.bLen[i] = x.bLen[last]
+		x.ePrev[i] = x.ePrev[last]
+	}
+	x.bOff = x.bOff[:last]
+	x.bStart = x.bStart[:last]
+	x.bLen = x.bLen[:last]
+	x.ePrev = x.ePrev[:last]
+}
+
+// NoteReweight records an in-place weight change of the edge at index i
+// (graph.SetEdgeWeight); edges is the post-edit slice. The old band is
+// charged and abandoned (its bUnits slots go dead, so bOff stops being
+// monotone until EndEdits compacts), a fresh band for the new weight is
+// appended, and the new band is charged too — the edge's weight is part of
+// every bucket entry, so even a move within the same window invalidates.
+// ePrev is untouched: liveness and orientation do not depend on weight,
+// and the unconditional new-band charge covers re-entry after a spell
+// outside all windows.
+func (x *IncIndex) NoteReweight(i int, edges []graph.Edge) {
+	x.edges = edges
+	x.bumpBand(i)
+	x.bAllRemoveBand(i, int32(i))
+	x.bDead += int(x.bLen[i])
+	start, units := x.bandOf(edges[i].W)
+	x.bOff[i] = int32(len(x.bUnits))
+	x.bStart[i] = start
+	x.bLen[i] = int32(len(units))
+	x.bUnits = append(x.bUnits, units...)
+	for k, u := range units {
+		x.bAllInsert(int(start)+k, u, int32(i))
+	}
+	x.bumpBand(i)
+}
+
+// bumpBand charges every (class, unit) bucket of the band stored at slot
+// si to the current epoch's τB change clock.
+func (x *IncIndex) bumpBand(si int) {
+	off, st := x.bOff[si], int(x.bStart[si])
+	for k := int32(0); k < x.bLen[si]; k++ {
+		x.yChg[st+int(k)][x.bUnits[off+k]] = x.epoch
+	}
+}
+
+// bAllRemoveBand removes edge index ei from every bAll list of the band
+// stored at slot si. The lists are ascending, so each removal is a binary
+// search plus a shift.
+func (x *IncIndex) bAllRemoveBand(si int, ei int32) {
+	off, st := x.bOff[si], int(x.bStart[si])
+	for k := int32(0); k < x.bLen[si]; k++ {
+		c, u := st+int(k), x.bUnits[off+k]
+		list := x.bAll[c][u]
+		j := sort.Search(len(list), func(j int) bool { return list[j] >= ei })
+		if j < len(list) && list[j] == ei {
+			x.bAll[c][u] = append(list[:j], list[j+1:]...)
+		}
+	}
+}
+
+// bAllInsert inserts edge index ei into the (c, u) bAll list at its sorted
+// position.
+func (x *IncIndex) bAllInsert(c int, u uint8, ei int32) {
+	list := x.bAll[c][u]
+	j := sort.Search(len(list), func(j int) bool { return list[j] >= ei })
+	list = append(list, 0)
+	copy(list[j+1:], list[j:])
+	list[j] = ei
+	x.bAll[c][u] = list
+}
+
+// maybeCompactBands rewrites bUnits without the slots abandoned by deletes
+// and reweights once they outnumber the live ones. Offsets move but band
+// contents do not, so no clock is charged.
+func (x *IncIndex) maybeCompactBands() {
+	if x.bDead == 0 || x.bDead*2 <= len(x.bUnits) {
+		return
+	}
+	fresh := make([]uint8, 0, len(x.bUnits)-x.bDead)
+	for i := range x.bOff {
+		seg := x.bUnits[x.bOff[i] : x.bOff[i]+x.bLen[i]]
+		x.bOff[i] = int32(len(fresh))
+		fresh = append(fresh, seg...)
+	}
+	x.bUnits = fresh
+	x.bDead = 0
+}

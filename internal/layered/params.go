@@ -11,6 +11,26 @@
 // why this preserves the behaviour each experiment measures: the Table-1
 // constraint Στ_B − Στ_A ≥ g guarantees positive gain for every captured
 // augmentation at any granularity g.
+//
+// # Amortised construction
+//
+// Beyond the per-round construction, the package carries the differential
+// machinery of the amortised pipeline. IncIndex maintains the per-class
+// viability buckets across rounds, re-deriving only what a bipartition
+// redraw, an augmentation, or a graph edit touched — edits arrive through
+// the BeginEdits/Note*/EndEdits protocol and charge the same per-(class,
+// unit) change clocks a redraw stamps, so downstream consumers need no new
+// invariants. BuildDelta patches a previous Layered build into the next
+// pair's (bit-identical to BuildIndexed by construction); its DeltaInfo
+// names the baseline build and the byte-shared suffix of the L' edge list,
+// which is exactly what bipartite.RepairHK needs to patch the matching
+// solve on top. A baseline that cannot be proven fresh is rejected with
+// one of the five ErrDelta* sentinels (NoBase, Detached, Scratch, Stale,
+// Mismatch) and the caller rebuilds from scratch — the build rung of
+// core's degradation ladder. The RoundChainer interface is the freshness
+// oracle for baselines that survived a redraw: the index reports its epoch
+// and per-(class, unit) stability spans, letting BuildDelta keep exactly
+// the segments whose buckets provably did not change.
 package layered
 
 // Params collects the discretisation parameters of the layered-graph

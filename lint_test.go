@@ -1,0 +1,54 @@
+package repro
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocs is the missing-package-doc lint the CI vet step pairs
+// with: every package in the module — the facade, internal/, cmd/,
+// examples/ — must carry a package doc comment in at least one of its
+// non-test files. The doc comments are the repo's contract surface (the
+// delta-chain, repair and ladder contracts live in them), so a new package
+// without one fails here rather than shipping undocumented.
+func TestPackageDocs(t *testing.T) {
+	fset := token.NewFileSet()
+	byDir := map[string]bool{} // dir -> has a package doc
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && name != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		f, perr := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if perr != nil {
+			return perr
+		}
+		byDir[dir] = byDir[dir] || f.Doc != nil
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dir, documented := range byDir {
+		if !documented {
+			t.Errorf("package in %s has no package doc comment in any file", dir)
+		}
+	}
+	if len(byDir) < 10 {
+		t.Fatalf("lint walked only %d packages; the walk is broken", len(byDir))
+	}
+}

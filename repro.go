@@ -177,6 +177,13 @@ type ApproxOptions struct {
 	WarmStart bool
 	// Workers bounds the per-class worker pool (see core.Options.Workers).
 	Workers int
+	// DeltaCutover, RepairCutover and CrossRoundCutover tune (or, negative,
+	// disable) the amortised path's differential builder, incremental
+	// Hopcroft–Karp repair, and cross-round chain — the measurement
+	// baselines of E15/E16/E17. CacheGate tunes the cross-class cache's
+	// hit-rate gate. All four are bit-identity-preserving at any setting;
+	// see the matching core.Options fields.
+	DeltaCutover, RepairCutover, CrossRoundCutover, CacheGate int
 }
 
 func (o ApproxOptions) coreOptions() core.Options {
@@ -185,12 +192,16 @@ func (o ApproxOptions) coreOptions() core.Options {
 			Granularity: o.Granularity,
 			MaxLayers:   o.MaxLayers,
 		},
-		Rng:       rand.New(rand.NewSource(o.Seed)),
-		MaxRounds: o.MaxRounds,
-		Patience:  o.Patience,
-		Amortize:  o.Amortize,
-		WarmStart: o.WarmStart,
-		Workers:   o.Workers,
+		Rng:               rand.New(rand.NewSource(o.Seed)),
+		MaxRounds:         o.MaxRounds,
+		Patience:          o.Patience,
+		Amortize:          o.Amortize,
+		WarmStart:         o.WarmStart,
+		Workers:           o.Workers,
+		DeltaCutover:      o.DeltaCutover,
+		RepairCutover:     o.RepairCutover,
+		CrossRoundCutover: o.CrossRoundCutover,
+		CacheGate:         o.CacheGate,
 	}
 }
 
