@@ -213,21 +213,29 @@ func (s *server) handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
+		// Validate the whole request into a local batch before touching the
+		// queue: a rejected request must queue nothing. The previous loop
+		// appended straight into s.pending and bailed mid-iteration on an
+		// unknown op, so a 400 response could leave the request's valid
+		// prefix queued for the next tick — the client retries the fixed
+		// request and the prefix applies twice.
+		var batch core.MutationBatch
 		for _, q := range reqs {
 			switch q.Op {
 			case "insert":
-				s.pending.InsertEdge(q.U, q.V, q.W)
+				batch.InsertEdge(q.U, q.V, q.W)
 			case "delete":
-				s.pending.DeleteEdge(q.U, q.V)
+				batch.DeleteEdge(q.U, q.V)
 			case "reweight":
-				s.pending.ReweightEdge(q.U, q.V, q.W)
+				batch.ReweightEdge(q.U, q.V, q.W)
 			default:
 				http.Error(w, fmt.Sprintf("unknown op %q", q.Op), http.StatusBadRequest)
 				return
 			}
 		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.pending.Extend(batch.Ops())
 		writeJSON(w, map[string]any{"queued": s.pending.Len()})
 	})
 

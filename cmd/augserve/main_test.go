@@ -9,6 +9,8 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -209,6 +211,164 @@ func TestServeSnapshotRestart(t *testing.T) {
 	if fmt.Sprint(e1) != fmt.Sprint(e2) {
 		t.Fatalf("matchings diverge after restart:\n%v\nvs\n%v", e1, e2)
 	}
+}
+
+// TestMutateRejectQueuesNothing is the regression for the /mutate
+// partial-queue seam bug (PR 9): a request rejected with 400 — here a
+// valid prefix followed by an unknown op — must leave the pending queue
+// untouched. The old handler appended ops as it validated and bailed
+// mid-loop, so the rejected request's prefix applied on the next tick;
+// a client that fixed and retried the request would apply it twice.
+func TestMutateRejectQueuesNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	inst := graph.RandomGraph(12, 30, 16, rng)
+	cfg := config{seed: 2}
+	cfg.opts = cfg.options()
+	s := newServer(inst.G.Clone(), cfg)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	bad := []mutationReq{
+		{Op: "insert", U: 1, V: 7, W: 40},
+		{Op: "delete", U: inst.G.EdgeAt(0).U, V: inst.G.EdgeAt(0).V},
+		{Op: "sideways", U: 2, V: 3},
+	}
+	if resp := postJSON(t, ts.URL+"/mutate", bad, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mixed batch: status %d, want 400", resp.StatusCode)
+	}
+	var tick struct {
+		Applied int
+		Error   string
+	}
+	postJSON(t, ts.URL+"/tick", nil, &tick)
+	if tick.Applied != 0 || tick.Error != "" {
+		t.Fatalf("rejected request left ops behind: tick applied %d (error %q), want 0", tick.Applied, tick.Error)
+	}
+
+	// The corrected retry applies exactly its own ops.
+	var queued struct{ Queued int }
+	postJSON(t, ts.URL+"/mutate", bad[:2], &queued)
+	if queued.Queued != 2 {
+		t.Fatalf("queued = %d, want 2", queued.Queued)
+	}
+	postJSON(t, ts.URL+"/tick", nil, &tick)
+	if tick.Applied != 2 {
+		t.Fatalf("retry applied %d ops, want 2", tick.Applied)
+	}
+}
+
+// TestServeConcurrentHammer drives every mutating and reading endpoint from
+// concurrent clients — valid /mutate batches, rejected /mutate batches,
+// /tick, /matching, /stats, /snapshot — to pin the queue-swap-under-lock
+// contract. The CI serve-smoke job runs this under -race, which is the
+// test's real teeth: any handler touching server state outside s.mu, or
+// any tick observing a half-spliced queue, surfaces as a race or a torn
+// response here. Functional assertions keep it honest without racing the
+// scheduler: every response is well-formed, the server stays healthy, and
+// the final drained state reconciles applied ops against accepted ones.
+func TestServeConcurrentHammer(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst := graph.RandomGraph(30, 120, 32, rng)
+	snap := filepath.Join(t.TempDir(), "hammer.snap")
+	cfg := config{seed: 13, snapshot: snap}
+	cfg.opts = cfg.options()
+	s := newServer(inst.G.Clone(), cfg)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	const (
+		writers  = 4
+		tickers  = 2
+		readers  = 4
+		perIters = 8
+	)
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < writers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(int64(100 + wkr)))
+			for i := 0; i < perIters; i++ {
+				u, v := wrng.Intn(inst.G.N()), wrng.Intn(inst.G.N())
+				if u == v {
+					v = (v + 1) % inst.G.N()
+				}
+				batch := []mutationReq{{Op: "insert", U: u, V: v, W: graph.Weight(1 + wrng.Intn(60))}}
+				if i%3 == 2 {
+					// Every third request is malformed and must queue nothing.
+					batch = append(batch, mutationReq{Op: "sideways"})
+				}
+				resp := postJSON(t, ts.URL+"/mutate", batch, nil)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					accepted.Add(int64(len(batch)))
+				case http.StatusBadRequest:
+				default:
+					t.Errorf("/mutate: unexpected status %d", resp.StatusCode)
+				}
+			}
+		}(wkr)
+	}
+	for tk := 0; tk < tickers; tk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perIters; i++ {
+				var tick struct {
+					Error string
+					Tick  int
+				}
+				postJSON(t, ts.URL+"/tick", nil, &tick)
+				if tick.Error != "" {
+					t.Errorf("hammer tick error: %s", tick.Error)
+				}
+				postJSON(t, ts.URL+"/snapshot", nil, nil)
+			}
+		}()
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perIters; i++ {
+				var matching struct {
+					Weight int64
+					Size   int
+					Edges  []mutationReq
+				}
+				getJSON(t, ts.URL+"/matching", &matching)
+				if len(matching.Edges) != matching.Size {
+					t.Errorf("torn /matching: %d edges, size %d", len(matching.Edges), matching.Size)
+				}
+				counters := map[string]int64{}
+				getJSON(t, ts.URL+"/stats", &counters)
+				if _, ok := counters["rounds"]; !ok {
+					t.Error("torn /stats: no rounds counter")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Drain: one final tick flushes whatever the last writers queued; the
+	// total applied must then equal exactly the accepted ops — rejected
+	// requests contributed nothing, accepted ones exactly once.
+	var final struct{ Error string }
+	postJSON(t, ts.URL+"/tick", nil, &final)
+	if final.Error != "" {
+		t.Fatalf("drain tick: %s", final.Error)
+	}
+	counters := map[string]int64{}
+	getJSON(t, ts.URL+"/stats", &counters)
+	if got := counters["mutations-applied"]; got != accepted.Load() {
+		t.Errorf("mutations-applied = %d, want %d accepted ops", got, accepted.Load())
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("server unhealthy after hammer: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
 }
 
 // TestServeErrors pins the failure surface: a bad op is a 400, a snapshot

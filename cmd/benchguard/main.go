@@ -1,24 +1,27 @@
 // Command benchguard turns `go test -bench` output into a pass/fail gate
-// for CI. It enforces three kinds of bounds:
+// for CI. It evaluates three kinds of bounds at two severities:
 //
-//   - relative: -speedup "BenchmarkSolveAmortized/BenchmarkSolve>=1.2"
+//   - relative (GATE): -speedup "BenchmarkSolveAmortized/BenchmarkSolve>=1.2"
 //     requires the first benchmark to be at least 1.2× faster than the
 //     second within the same run. Ratios compare two measurements from one
-//     machine, so they are immune to runner-speed variance — this is the
-//     primary regression gate for the amortised pipeline.
-//   - absolute time: -baseline BENCH_pr2.json -slack 3 requires every
-//     benchmark present in both the run and the baseline file to stay
-//     within slack × its committed ns/op. The generous default slack only
-//     catches catastrophic regressions that a ratio cannot see (both paths
-//     slowing down together); CI machines are not the ledger machine.
-//   - absolute allocations: -allocslack 1.5 requires allocs/op to stay
-//     within allocslack × the committed allocs_per_op of the same baseline
-//     (needs `go test -benchmem`). Allocation counts are deterministic, so
-//     the slack here is much tighter than the time slack; 0 disables the
-//     check.
+//     machine, so they are immune to runner-speed variance — same-run A/B
+//     ratios are the only checks that fail CI.
+//   - absolute time (WARNING): -baseline BENCH_pr2.json -slack 3 compares
+//     every benchmark present in both the run and the baseline file
+//     against slack × its committed ns/op. Absolute bounds proved to flake
+//     across container bins (the ledger documents 10–25% drift between PR
+//     windows with no code change), so a breach is recorded in the -out
+//     report and printed as a warning, never an exit failure — CI machines
+//     are not the ledger machine. See docs/OPERATIONS.md, "Benchmark gate
+//     policy".
+//   - absolute allocations (WARNING): -allocslack 1.5 compares allocs/op
+//     against allocslack × the committed allocs_per_op of the same
+//     baseline (needs `go test -benchmem`). Deterministic in principle,
+//     but tied to the same drifting bins, so warning-severity too.
 //
-// With -out FILE the parsed measurements and every check's verdict are also
-// written as JSON — the per-run perf artifact CI uploads so that regressions
+// With -out FILE the parsed measurements and every check's verdict —
+// including the warning-severity breaches that did not fail the run — are
+// written as JSON, the per-run perf artifact CI uploads so that regressions
 // can be traced across runs without rerunning anything.
 //
 // Usage:
@@ -95,9 +98,13 @@ type baselineFile struct {
 	} `json:"benchmarks"`
 }
 
-// check is one enforced bound's verdict, as emitted into the -out report.
+// check is one evaluated bound's verdict, as emitted into the -out report.
+// Severity "gate" fails the run on !OK; "warn" only surfaces in the report
+// and the log (the absolute baseline bounds, which drift with the runner's
+// bin — see the package comment).
 type check struct {
-	Kind     string  `json:"kind"` // "speedup", "time-baseline", "allocs-baseline"
+	Kind     string  `json:"kind"`     // "speedup", "time-baseline", "allocs-baseline"
+	Severity string  `json:"severity"` // "gate" or "warn"
 	Spec     string  `json:"spec"`
 	Measured float64 `json:"measured"`
 	Limit    float64 `json:"limit"`
@@ -133,8 +140,15 @@ func run(args []string, stdin *os.File) error {
 	var failures []string
 	record := func(c check, failure string) {
 		rep.Checks = append(rep.Checks, c)
-		if !c.OK {
+		if c.OK {
+			return
+		}
+		if c.Severity == "gate" {
 			failures = append(failures, failure)
+		} else {
+			// Warning severity: the breach lands in the report and the log,
+			// not the exit code (absolute bounds drift with the runner bin).
+			fmt.Printf("benchguard: warning: %s\n", failure)
 		}
 	}
 
@@ -164,7 +178,7 @@ func run(args []string, stdin *os.File) error {
 		}
 		measured := slowM.NsPerOp / fastM.NsPerOp
 		ok := measured >= ratio
-		record(check{Kind: "speedup", Spec: spec, Measured: measured, Limit: ratio, OK: ok},
+		record(check{Kind: "speedup", Severity: "gate", Spec: spec, Measured: measured, Limit: ratio, OK: ok},
 			fmt.Sprintf("%s is only %.2fx faster than %s, want >= %.2fx", fast, measured, slow, ratio))
 		if ok {
 			fmt.Printf("benchguard: %s %.2fx faster than %s (>= %.2fx) ok\n", fast, measured, slow, ratio)
@@ -191,7 +205,7 @@ func run(args []string, stdin *os.File) error {
 			if b.After.NsPerOp > 0 {
 				limit := b.After.NsPerOp * *slack
 				ok := m.NsPerOp <= limit
-				record(check{Kind: "time-baseline", Spec: b.Name, Measured: m.NsPerOp, Limit: limit, OK: ok},
+				record(check{Kind: "time-baseline", Severity: "warn", Spec: b.Name, Measured: m.NsPerOp, Limit: limit, OK: ok},
 					fmt.Sprintf("%s: %.0f ns/op exceeds %.1fx baseline %.0f", b.Name, m.NsPerOp, *slack, b.After.NsPerOp))
 				if ok {
 					fmt.Printf("benchguard: %s %.0f ns/op within %.1fx of baseline %.0f ok\n",
@@ -201,7 +215,7 @@ func run(args []string, stdin *os.File) error {
 			if *allocSlack > 0 && b.After.AllocsPerOp > 0 && m.AllocsPerOp >= 0 {
 				limit := float64(b.After.AllocsPerOp) * *allocSlack
 				ok := float64(m.AllocsPerOp) <= limit
-				record(check{Kind: "allocs-baseline", Spec: b.Name, Measured: float64(m.AllocsPerOp), Limit: limit, OK: ok},
+				record(check{Kind: "allocs-baseline", Severity: "warn", Spec: b.Name, Measured: float64(m.AllocsPerOp), Limit: limit, OK: ok},
 					fmt.Sprintf("%s: %d allocs/op exceeds %.1fx baseline %d", b.Name, m.AllocsPerOp, *allocSlack, b.After.AllocsPerOp))
 				if ok {
 					fmt.Printf("benchguard: %s %d allocs/op within %.1fx of baseline %d ok\n",

@@ -57,6 +57,11 @@ func TestMissingBenchmark(t *testing.T) {
 	}
 }
 
+// TestBaselineBounds pins the PR 9 gate policy: absolute baseline bounds
+// are warning-severity — a breach lands in the -out report with ok=false
+// but never fails the run, because absolute ns/op drifts 10–25% across
+// container bins with no code change (docs/OPERATIONS.md). Only same-run
+// speedup ratios gate.
 func TestBaselineBounds(t *testing.T) {
 	dir := t.TempDir()
 	base := filepath.Join(dir, "base.json")
@@ -69,9 +74,55 @@ func TestBaselineBounds(t *testing.T) {
 	if err := runWithInput(t, sample, "-baseline", base, "-slack", "2"); err != nil {
 		t.Fatal(err)
 	}
-	if err := runWithInput(t, sample, "-baseline", base, "-slack", "0.5"); err == nil {
-		t.Fatal("regression past baseline slack accepted")
+	out := filepath.Join(dir, "result.json")
+	if err := runWithInput(t, sample, "-baseline", base, "-slack", "0.5", "-out", out); err != nil {
+		t.Fatalf("baseline breach failed the run (want warning severity): %v", err)
 	}
+	rep := readReport(t, out)
+	if !rep.Pass {
+		t.Error("warning-only breaches marked the run failed")
+	}
+	breached := 0
+	for _, c := range rep.Checks {
+		if c.Kind != "time-baseline" {
+			continue
+		}
+		if c.Severity != "warn" {
+			t.Errorf("time-baseline severity %q, want warn", c.Severity)
+		}
+		if !c.OK {
+			breached++
+		}
+	}
+	if breached == 0 {
+		t.Error("breached baseline left no ok=false warning in the report")
+	}
+}
+
+type testReport struct {
+	Benchmarks map[string]struct {
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+	Checks []struct {
+		Kind     string `json:"kind"`
+		Severity string `json:"severity"`
+		OK       bool   `json:"ok"`
+	} `json:"checks"`
+	Pass bool `json:"pass"`
+}
+
+func readReport(t *testing.T, path string) testReport {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep testReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bad report JSON: %v", err)
+	}
+	return rep
 }
 
 func TestNoInput(t *testing.T) {
@@ -97,9 +148,24 @@ func TestAllocsBounds(t *testing.T) {
 	if err := runWithInput(t, sampleMem, "-baseline", base, "-allocslack", "1.5"); err != nil {
 		t.Fatal(err)
 	}
-	err := runWithInput(t, sampleMem, "-baseline", base, "-allocslack", "1.0")
-	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
-		t.Fatalf("want allocs failure, got %v", err)
+	// An allocs breach is warning-severity like the time bound: recorded,
+	// never an exit failure.
+	out := filepath.Join(t.TempDir(), "result.json")
+	if err := runWithInput(t, sampleMem, "-baseline", base, "-allocslack", "1.0", "-out", out); err != nil {
+		t.Fatalf("allocs breach failed the run (want warning severity): %v", err)
+	}
+	rep := readReport(t, out)
+	breached := 0
+	for _, c := range rep.Checks {
+		if c.Kind == "allocs-baseline" && !c.OK {
+			if c.Severity != "warn" {
+				t.Errorf("allocs-baseline severity %q, want warn", c.Severity)
+			}
+			breached++
+		}
+	}
+	if breached == 0 {
+		t.Error("breached allocs bound left no ok=false warning in the report")
 	}
 	// Without -benchmem input the allocs check must not fire (no data).
 	if err := runWithInput(t, sample, "-baseline", base, "-allocslack", "1.0"); err != nil {

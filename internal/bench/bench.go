@@ -108,6 +108,7 @@ func Registry() map[string]Runner {
 		"E16": E16RepairHK,
 		"E17": E17CrossRound,
 		"E18": E18EditStream,
+		"E19": E19SolverMicroarch,
 	}
 }
 

@@ -84,6 +84,7 @@ type Scratch struct {
 	matchR    []int32 // right vertex -> matched left vertex, or -1
 	matchEdge []int32 // left vertex -> index of its matched edge in b.Edges
 	dist      []int32
+	iter      []int32 // per-phase adjacency cursor per left vertex (see run)
 	queue     []int32
 
 	// Repair retention (repair.go): token identifies the latest retained
@@ -111,6 +112,32 @@ func HopcroftKarp(b *Bip) Result {
 // HopcroftKarpScratch is HopcroftKarp reusing the given arena's storage.
 func HopcroftKarpScratch(b *Bip, s *Scratch) Result {
 	return boundedHK(b, math.MaxInt32, s, nil)
+}
+
+// HopcroftKarpRescan is HopcroftKarp running the pre-PR 9 cursor-free
+// greedy DFS: every DFS entry rescans the vertex's adjacency from the
+// start instead of resuming from the per-phase cursor. It is retained as
+// the live reference of the iterator-per-phase DFS — the E19 experiment
+// and the CI micro-benchmark gate measure the iterator form against it in
+// the same run, and the Invariant 26 differential (TestIteratorDFS*,
+// internal/solvertest) asserts the two return bit-identical results —
+// same matching, same phase count — on every family, because the cursor
+// provably skips only edges already dead for the phase.
+func HopcroftKarpRescan(b *Bip) Result {
+	return boundedHKRescan(b, math.MaxInt32, nil, nil)
+}
+
+// HopcroftKarpRescanScratch is HopcroftKarpRescan reusing the given
+// arena's storage.
+func HopcroftKarpRescanScratch(b *Bip, s *Scratch) Result {
+	return boundedHKRescan(b, math.MaxInt32, s, nil)
+}
+
+// HopcroftKarpRescanSeeded is HopcroftKarpSeeded through the cursor-free
+// reference DFS, so the iterator equivalence is checkable (and measurable)
+// on warm-started runs too.
+func HopcroftKarpRescanSeeded(b *Bip, s *Scratch, seeds []Seed) Result {
+	return boundedHKRescan(b, math.MaxInt32, s, seeds)
 }
 
 // Seed pre-matches one edge of a warm-started solve: left vertex L matched
@@ -163,9 +190,11 @@ func (s *Scratch) sizeVerts(n int) {
 		s.matchR = make([]int32, n)
 		s.matchEdge = make([]int32, n)
 		s.dist = make([]int32, n)
+		s.iter = make([]int32, n)
 	}
 	s.matchL, s.matchR = s.matchL[:n], s.matchR[:n]
 	s.matchEdge, s.dist = s.matchEdge[:n], s.dist[:n]
+	s.iter = s.iter[:n]
 }
 
 // prepare sizes the arena for b and builds the CSR adjacency of the left
@@ -235,11 +264,34 @@ func boundedHK(b *Bip, maxLen int, s *Scratch, seeds []Seed) Result {
 	return Result{M: m, Phases: phases}
 }
 
+// boundedHKRescan is boundedHK through the cursor-free reference DFS
+// (see HopcroftKarpRescan).
+func boundedHKRescan(b *Bip, maxLen int, s *Scratch, seeds []Seed) Result {
+	if s == nil {
+		s = NewScratch()
+	}
+	s.token = 0
+	s.prepare(b)
+	phases := s.runLoop(b, maxLen, seeds, true)
+	m := new(graph.Matching)
+	m.FillFromSolver(b.N, b.Side, s.matchL, s.matchR, s.matchEdge, b.Edges)
+	return Result{M: m, Phases: phases}
+}
+
 // run executes the Hopcroft–Karp phase loop over the arena's current CSR
 // (left behind by prepare or patch), starting from the empty matching,
 // optionally installing seeds first. It returns the phase count; the
 // matching is left in the arena's matchL/matchR/matchEdge state.
 func (s *Scratch) run(b *Bip, maxLen int, seeds []Seed) int {
+	return s.runLoop(b, maxLen, seeds, false)
+}
+
+// runLoop is run with the DFS strategy explicit: rescan = true restores the
+// pre-PR 9 cursor-free greedy DFS (every entry rescans the adjacency from
+// off[u]). It exists as the live reference the iterator-per-phase DFS is
+// measured and equivalence-checked against (HopcroftKarpRescan); production
+// callers always pass false.
+func (s *Scratch) runLoop(b *Bip, maxLen int, seeds []Seed, rescan bool) int {
 	nLeft := 0
 	for i := range s.matchL {
 		s.matchL[i] = -1
@@ -320,20 +372,61 @@ func (s *Scratch) run(b *Bip, maxLen int, seeds []Seed) int {
 		return shortest
 	}
 
+	// Iterator-per-phase DFS (the classic HK73/Dinic amortisation, PR 9):
+	// each left vertex keeps a cursor into its adjacency, reset at the top
+	// of every phase, and the greedy DFS resumes from it instead of
+	// rescanning from off[u]. Within a phase an edge that failed once is
+	// dead for good — its right endpoint can only stay matched (augmenting
+	// rematches right vertices, never frees them) and dist only ever moves
+	// to inf — so skipping the scanned prefix drops exactly the re-entrant
+	// rescans an interior vertex pays when several paths route through it,
+	// and nothing else: the same augmenting paths are found in the same
+	// order, so the result and phase count are bit-identical to the
+	// cursor-free reference (runRescan; Invariant 26 pins the equivalence,
+	// TestIteratorDFS* and the solvertest families assert it).
+	//
+	// On success the cursor parks on the taken edge j: a re-entry re-checks
+	// j, finds r matched to u itself (dist[u] == dist[u]+1 fails), and
+	// advances — the same position the dead-prefix argument leaves the
+	// reference scan at.
 	var dfs func(u int32) bool
-	dfs = func(u int32) bool {
-		for j := s.off[u]; j < s.off[u+1]; j++ {
-			r := s.to[j]
-			w := s.matchR[r]
-			if w == -1 || (s.dist[w] == s.dist[u]+1 && dfs(w)) {
-				s.matchL[u] = r
-				s.matchR[r] = u
-				s.matchEdge[u] = s.eidx[j]
-				return true
+	if rescan {
+		dfs = func(u int32) bool {
+			for j := s.off[u]; j < s.off[u+1]; j++ {
+				r := s.to[j]
+				w := s.matchR[r]
+				if w == -1 || (s.dist[w] == s.dist[u]+1 && dfs(w)) {
+					s.matchL[u] = r
+					s.matchR[r] = u
+					s.matchEdge[u] = s.eidx[j]
+					return true
+				}
 			}
+			s.dist[u] = inf
+			return false
 		}
-		s.dist[u] = inf
-		return false
+	} else {
+		// The cursor is written back once at exit, not per step: u cannot
+		// be re-entered while on the DFS stack (an in-edge would need
+		// dist[u] == dist[w']+1 for a deeper w', impossible in a layered
+		// search), so no reader can observe the cursor mid-scan.
+		dfs = func(u int32) bool {
+			end := s.off[u+1]
+			for j := s.iter[u]; j < end; j++ {
+				r := s.to[j]
+				w := s.matchR[r]
+				if w == -1 || (s.dist[w] == s.dist[u]+1 && dfs(w)) {
+					s.iter[u] = j
+					s.matchL[u] = r
+					s.matchR[r] = u
+					s.matchEdge[u] = s.eidx[j]
+					return true
+				}
+			}
+			s.iter[u] = end
+			s.dist[u] = inf
+			return false
+		}
 	}
 
 	// Saturation counters: once every left (or every right) vertex is
@@ -376,6 +469,9 @@ func (s *Scratch) run(b *Bip, maxLen int, seeds []Seed) int {
 			break
 		}
 		phases++
+		if !rescan {
+			copy(s.iter, s.off[:b.N]) // reset every adjacency cursor for the phase
+		}
 		for v := 0; v < b.N; v++ {
 			if !b.Side[v] && s.matchL[v] == -1 {
 				if dfs(int32(v)) {

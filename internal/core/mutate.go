@@ -80,6 +80,15 @@ func (b *MutationBatch) ReweightEdge(u, v int, w graph.Weight) *MutationBatch {
 	return b
 }
 
+// Extend appends another batch's edits in their application order —
+// the all-or-nothing splice a service queue needs once a request has been
+// validated in full (cmd/augserve rejects a bad request without queueing
+// its valid prefix).
+func (b *MutationBatch) Extend(ops []Mutation) *MutationBatch {
+	b.ops = append(b.ops, ops...)
+	return b
+}
+
 // Len returns the number of edits in the batch.
 func (b *MutationBatch) Len() int {
 	if b == nil {

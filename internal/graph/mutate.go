@@ -15,6 +15,16 @@ package graph
 // exactly the edge sequence these semantics leave behind; callers keeping
 // derived per-edge state in sync (layered.IncIndex) are told which index
 // moved so they can remap in O(band).
+//
+// Index-validity contract (audited PR 9): an edge index is valid only
+// until the next RemoveEdgeAt — the swap moves the last edge into the
+// freed slot, so a held index may silently address a different edge
+// afterwards. Every caller therefore re-resolves FindEdge per op against
+// the current slice instead of carrying indices across ops
+// (core.ApplyMutations, the solvertest/bench batch simulators); the
+// delete-then-reweight-same-batch regression
+// (solvertest.TestEditStreamDeleteThenReweightSwapSlot) pins the pattern
+// that would misfire if a caller pre-resolved a batch's indices up front.
 
 import "fmt"
 

@@ -148,11 +148,15 @@ type IncIndex struct {
 	// (ygEpoch at or after the bucket's effective change epoch, see
 	// yEffEpoch) is revalidated across the round boundary instead of
 	// rebuilt: the PR 7 keying of the survival tables by crossing-status
-	// deltas rather than by round.
+	// deltas rather than by round. Since PR 9 the spans live in a flat
+	// open-addressed table (ygTab) instead of a map[uint16]ygSpan — the
+	// YGroup lookup on the build hot path pays two array reads instead of
+	// map hashing, and the table's key set doubles as the word-parallel
+	// source for the survival probe rows (rowsFromSpans).
 	ygStamp [][]uint32
 	ygEpoch [][]uint64
 	ygFlat  [][][]graph.Edge
-	ygSpan  [][]map[uint16]ygSpan
+	ygTabs  [][]ygTab
 
 	// ysStamp/ysEff memoise yEffEpoch per (class, unit) within a round: the
 	// max over the bucket's yChg and its in-window edges' endpoint vChg.
@@ -280,7 +284,7 @@ func NewIncIndex(n int, edges []graph.Edge, ws []float64, prm Params) *IncIndex 
 	x.ygStamp = make([][]uint32, len(ws))
 	x.ygEpoch = make([][]uint64, len(ws))
 	x.ygFlat = make([][][]graph.Edge, len(ws))
-	x.ygSpan = make([][]map[uint16]ygSpan, len(ws))
+	x.ygTabs = make([][]ygTab, len(ws))
 	x.aChg = make([][]uint64, len(ws))
 	x.yChg = make([][]uint64, len(ws))
 	x.ysStamp = make([][]uint32, len(ws))
@@ -305,7 +309,7 @@ func NewIncIndex(n int, edges []graph.Edge, ws []float64, prm Params) *IncIndex 
 		x.ygStamp[c] = make([]uint32, maxU+1)
 		x.ygEpoch[c] = make([]uint64, maxU+1)
 		x.ygFlat[c] = make([][]graph.Edge, maxU+1)
-		x.ygSpan[c] = make([]map[uint16]ygSpan, maxU+1)
+		x.ygTabs[c] = make([]ygTab, maxU+1)
 		x.aChg[c] = make([]uint64, maxU+1)
 		x.yChg[c] = make([]uint64, maxU+1)
 		x.ysStamp[c] = make([]uint32, maxU+1)
@@ -891,6 +895,107 @@ func (v *IncView) Oracle() (SurvivalOracle, bool) {
 // cursor and equals n once the table is built.
 type ygSpan struct{ off, n, fill int32 }
 
+// ygTab is a flat open-addressed hash table from packed (row, col)
+// survival keys to ygSpan — the PR 9 replacement for map[uint16]ygSpan on
+// the YGroup hot path. keys holds key+1 (0 = empty, so reset is a memclr);
+// spans is the parallel value array. Linear probing over a power-of-two
+// slot count; the key universe is bounded (row ≤ maxU < FreeLBit, col ≤
+// FreeLBit, so < 64·64 distinct keys), which keeps even a saturated table
+// small and the load factor capped by grow().
+type ygTab struct {
+	keys  []uint32
+	spans []ygSpan
+	used  int
+}
+
+// ygHash spreads a packed key over the table: Fibonacci multiplicative
+// hashing, high bits taken by the caller's mask via >> is unnecessary —
+// the multiplier is odd so the low bits are already a bijection, and
+// linear probing tolerates the residual clustering.
+func ygHash(key uint16) uint32 { return uint32(key) * 0x9E3779B1 }
+
+// reset clears the table in place, growing the slot array to hold at
+// least hint entries below a ½ load factor. The hint is capped at the key
+// universe (64·64): a bucket can hold far more edges than there are
+// distinct classifications, and slots beyond the universe can never fill.
+func (t *ygTab) reset(hint int) {
+	if hint > 64*64 {
+		hint = 64 * 64
+	}
+	want := 16
+	for want < 2*hint {
+		want <<= 1
+	}
+	if cap(t.keys) >= want {
+		t.keys = t.keys[:cap(t.keys)]
+		t.spans = t.spans[:cap(t.keys)]
+		clear(t.keys)
+		clear(t.spans)
+	} else {
+		t.keys = make([]uint32, want)
+		t.spans = make([]ygSpan, want)
+	}
+	t.used = 0
+}
+
+// ref returns the span slot for key, inserting an empty one if absent.
+func (t *ygTab) ref(key uint16) *ygSpan {
+	if 2*(t.used+1) > len(t.keys) {
+		t.grow()
+	}
+	mask := uint32(len(t.keys) - 1)
+	for i := ygHash(key) & mask; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case uint32(key) + 1:
+			return &t.spans[i]
+		case 0:
+			t.keys[i] = uint32(key) + 1
+			t.used++
+			return &t.spans[i]
+		}
+	}
+}
+
+// get returns the span for key, or ok = false.
+func (t *ygTab) get(key uint16) (ygSpan, bool) {
+	if len(t.keys) == 0 {
+		return ygSpan{}, false
+	}
+	mask := uint32(len(t.keys) - 1)
+	for i := ygHash(key) & mask; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case uint32(key) + 1:
+			return t.spans[i], true
+		case 0:
+			return ygSpan{}, false
+		}
+	}
+}
+
+// grow doubles the slot array and rehashes the occupied slots.
+func (t *ygTab) grow() {
+	oldK, oldS := t.keys, t.spans
+	want := 2 * len(oldK)
+	if want < 16 {
+		want = 16
+	}
+	t.keys = make([]uint32, want)
+	t.spans = make([]ygSpan, want)
+	mask := uint32(want - 1)
+	for i, k := range oldK {
+		if k == 0 {
+			continue
+		}
+		for j := ygHash(uint16(k-1)) & mask; ; j = (j + 1) & mask {
+			if t.keys[j] == 0 {
+				t.keys[j] = k
+				t.spans[j] = oldS[i]
+				break
+			}
+		}
+	}
+}
+
 // ygKey packs a (row, col) survival classification; rows and cols fit a
 // byte (units ≤ maxIncUnit and the FreeLBit marker).
 func ygKey(row, col int) uint16 { return uint16(row)<<8 | uint16(col) }
@@ -987,29 +1092,26 @@ func (v *IncView) YStableSince(u int, epoch uint64) bool {
 // unchanged since it was built (yEffEpoch at or before its ygEpoch) is
 // revalidated across the BeginRound redraw instead of rebuilt, keyed by the
 // crossing-status delta clock rather than the round stamp.
-func (x *IncIndex) ensureYGroups(c, u int) (map[uint16]ygSpan, []graph.Edge) {
+func (x *IncIndex) ensureYGroups(c, u int) (*ygTab, []graph.Edge) {
+	tab := &x.ygTabs[c][u]
 	if x.ygStamp[c][u] == x.stamp {
-		return x.ygSpan[c][u], x.ygFlat[c][u]
+		return tab, x.ygFlat[c][u]
 	}
-	if x.ygSpan[c][u] != nil && x.ygEpoch[c][u] > 0 && x.yEffEpoch(c, u) <= x.ygEpoch[c][u] {
+	if tab.keys != nil && x.ygEpoch[c][u] > 0 && x.yEffEpoch(c, u) <= x.ygEpoch[c][u] {
 		// Cross-round reuse: nothing the partition depends on changed since
 		// it was last (re)built, so last round's grouping is this round's,
-		// bit for bit.
+		// bit for bit. The probe rows ride along: the retained table's key
+		// set rebuilds them word-parallel without touching the bucket.
 		x.ygStamp[c][u] = x.stamp
 		x.ygEpoch[c][u] = x.epoch
-		return x.ygSpan[c][u], x.ygFlat[c][u]
+		x.rowsFromSpans(c, u, tab)
+		return tab, x.ygFlat[c][u]
 	}
 	x.ygStamp[c][u] = x.stamp
 	x.ygEpoch[c][u] = x.epoch
 	x.ensureProbe(c)
-	spans := x.ygSpan[c][u]
-	if spans == nil {
-		spans = make(map[uint16]ygSpan)
-		x.ygSpan[c][u] = spans
-	} else {
-		clear(spans)
-	}
 	bucket := x.bLive(c, u)
+	tab.reset(len(bucket))
 	flat := x.ygFlat[c][u]
 	if cap(flat) < len(bucket) {
 		flat = make([]graph.Edge, len(bucket))
@@ -1020,30 +1122,61 @@ func (x *IncIndex) ensureYGroups(c, u int) (map[uint16]ygSpan, []graph.Edge) {
 		if !ok {
 			continue
 		}
-		sp := spans[key]
-		sp.n++
-		spans[key] = sp
+		tab.ref(key).n++
 		kept++
 	}
 	flat = flat[:kept]
 	off := int32(0)
-	for key, sp := range spans {
-		sp.off = off
-		off += sp.n
-		spans[key] = sp
+	for i, k := range tab.keys {
+		if k == 0 {
+			continue
+		}
+		tab.spans[i].off = off
+		off += tab.spans[i].n
 	}
 	for _, e := range bucket {
 		key, re, ok := x.classifyY(c, e)
 		if !ok {
 			continue
 		}
-		sp := spans[key]
+		sp := tab.ref(key)
 		flat[sp.off+sp.fill] = re
 		sp.fill++
-		spans[key] = sp
 	}
 	x.ygFlat[c][u] = flat
-	return spans, flat
+	// Same-pass probe rows: the table's key set is exactly the bit set the
+	// per-edge probe build would produce, so the unit's survival rows come
+	// for free here — one OR per distinct classification.
+	x.rowsFromSpans(c, u, tab)
+	return tab, flat
+}
+
+// rowsFromSpans rebuilds the (c, u) survival probe rows word-parallel from
+// a current grouped-Y span table: one bit-OR per occupied slot instead of
+// one classifyY per bucket edge. The bits are identical to probeRows' own
+// per-edge build because both sides derive from the same classifyY calls
+// over the same live bucket (the table keeps exactly the classifications
+// with at least one surviving edge). No-op if the rows already carry this
+// round's stamp.
+func (x *IncIndex) rowsFromSpans(c, u int, tab *ygTab) {
+	if x.prStamp[c][u] == x.stamp {
+		return
+	}
+	x.prStamp[c][u] = x.stamp
+	rows := x.pRows[c][u]
+	if rows == nil {
+		rows = make([]uint64, x.maxU+1)
+		x.pRows[c][u] = rows
+	} else {
+		clear(rows)
+	}
+	for _, k := range tab.keys {
+		if k == 0 {
+			continue
+		}
+		key := uint16(k - 1)
+		rows[key>>8] |= 1 << uint(key&0xff)
+	}
 }
 
 // YGroupsOK reports whether the grouped Y lookup is available (YGrouper
@@ -1059,8 +1192,8 @@ func (v *IncView) YGroup(u, row, col int) []graph.Edge {
 	if u < 2 || u > v.ix.maxU || row < 0 || row > 0xff || col < 0 || col > 0xff {
 		return nil
 	}
-	spans, flat := v.ix.ensureYGroups(v.c, u)
-	sp, ok := spans[ygKey(row, col)]
+	tab, flat := v.ix.ensureYGroups(v.c, u)
+	sp, ok := tab.get(ygKey(row, col))
 	if !ok {
 		return nil
 	}

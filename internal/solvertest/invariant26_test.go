@@ -1,0 +1,60 @@
+package solvertest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// iterFactory and rescanFactory install the two DFS strategies of the PR 9
+// solver pass as phase-reporting solver factories, so the full reduction
+// pipeline — bipartition draw, class sweep, every solve — runs once per
+// strategy over identical Rng streams. Both sides set a factory, which
+// matters: Options.hasFactory switches the per-class Rng seeding, so a
+// factory run is only stream-identical to another factory run.
+func iterFactory(*rand.Rand) core.PhasedSolver {
+	hk := bipartite.NewScratch()
+	return func(b *bipartite.Bip) (*graph.Matching, int, error) {
+		res := bipartite.HopcroftKarpScratch(b, hk)
+		return res.M, res.Phases, nil
+	}
+}
+
+func rescanFactory(*rand.Rand) core.PhasedSolver {
+	hk := bipartite.NewScratch()
+	return func(b *bipartite.Bip) (*graph.Matching, int, error) {
+		res := bipartite.HopcroftKarpRescanScratch(b, hk)
+		return res.M, res.Phases, nil
+	}
+}
+
+// TestIteratorDFSPipelineBitIdentical is the pipeline half of Invariant 26:
+// the iterator-per-phase DFS must be bit-identical to the retained
+// cursor-free reference through the WHOLE reduction — every generator
+// family, the amortised pipeline on, Workers 1 and 4 — matching bytes,
+// gain, phase counts, and solver-call counts all equal round by round.
+// The bipartite-level halves (cold, seeded, arena-reuse, repair) live in
+// internal/bipartite's TestIteratorDFS* and TestFunnelBip; the delta /
+// repair / cross-round / mutation / chaos suites re-assert the iterator
+// path against their own references since the default solver now runs it.
+func TestIteratorDFSPipelineBitIdentical(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for _, w := range Workloads(rand.New(rand.NewSource(26))) {
+			sIter, sRef := AssertBitIdentical(t, w,
+				core.Options{Amortize: true, Workers: workers, PhasedSolverFactory: iterFactory},
+				core.Options{Amortize: true, Workers: workers, PhasedSolverFactory: rescanFactory},
+				27, 5)
+			if sIter.SolverPhases != sRef.SolverPhases {
+				t.Errorf("%s workers %d: phases %d (iterator) vs %d (rescan)",
+					w.Name, workers, sIter.SolverPhases, sRef.SolverPhases)
+			}
+			if sIter.SolverCalls != sRef.SolverCalls {
+				t.Errorf("%s workers %d: solver calls %d (iterator) vs %d (rescan)",
+					w.Name, workers, sIter.SolverCalls, sRef.SolverCalls)
+			}
+		}
+	}
+}

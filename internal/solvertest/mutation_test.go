@@ -158,6 +158,72 @@ func TestEditStreamMutationEdgeCases(t *testing.T) {
 	})
 }
 
+// TestEditStreamDeleteThenReweightSwapSlot is the swap-remove moved-index
+// regression (PR 9 audit of the graph/mutate.go contract): a batch that
+// deletes an edge and then reweights the edge that swap-remove moved into
+// the freed slot must hit the moved edge, not the slot. The contract held
+// at every call site because ops never carry indices across each other —
+// ApplyMutations re-resolves FindEdge per op against the post-edit slice —
+// and this test keeps it that way: it scripts exactly the batch that would
+// misfire if anyone "optimised" the per-op resolution into a pre-resolved
+// index list.
+func TestEditStreamDeleteThenReweightSwapSlot(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var w Workload
+	for _, c := range Workloads(rng) {
+		if c.Name == "banded" {
+			w = c
+		}
+	}
+	h := NewEditHarness(t, w, core.Options{Amortize: true, Workers: 4}, 54)
+	h.Step(nil)
+	g := h.Graph()
+	// The victim is the last edge (the one swap-remove relocates); the
+	// deleted edge is the earliest one whose endpoint pair is unique and
+	// differs from the victim's, so both endpoint addresses are unambiguous.
+	last := g.M() - 1
+	victim := g.EdgeAt(last)
+	if i, _ := g.FindEdge(victim.U, victim.V); i != last {
+		t.Skipf("last edge has a parallel twin at %d; endpoint addressing would not isolate the moved edge", i)
+	}
+	del, delAt := victim, -1
+	for i := 0; i < last; i++ {
+		e := g.EdgeAt(i)
+		if first, _ := g.FindEdge(e.U, e.V); first == i &&
+			!(e.U == victim.U && e.V == victim.V) && !(e.U == victim.V && e.V == victim.U) {
+			del, delAt = e, i
+			break
+		}
+	}
+	if delAt < 0 {
+		t.Fatal("no uniquely-addressed edge to delete")
+	}
+	newW := victim.W + 1
+	b := &core.MutationBatch{}
+	b.DeleteEdge(del.U, del.V)
+	b.ReweightEdge(victim.U, victim.V, newW)
+	h.Step(b) // bit-identity vs the cold twin asserts the pipeline half
+
+	// Direct half: the victim now lives in the freed slot with the new
+	// weight, and the deleted endpoints resolve to nothing (or to a
+	// different edge — never the victim's slot with the old weight).
+	i, ok := g.FindEdge(victim.U, victim.V)
+	if !ok {
+		t.Fatalf("victim edge (%d,%d) vanished with the deleted slot", victim.U, victim.V)
+	}
+	if i != delAt {
+		t.Fatalf("victim edge at index %d, want the freed slot %d", i, delAt)
+	}
+	if got := g.EdgeAt(i).W; got != newW {
+		t.Fatalf("victim weight %d after reweight-by-endpoints, want %d — the reweight hit the slot, not the moved edge", got, newW)
+	}
+	h.Step(nil)
+	sA, _ := h.Stats()
+	if sA.MutationsApplied != 2 {
+		t.Errorf("MutationsApplied = %d, want 2", sA.MutationsApplied)
+	}
+}
+
 // TestChaosEditStream extends the chaos matrix with an edit-stream family:
 // mutation batches flow through the amortised runner while the injector
 // fires in its rounds, and the run must neither error nor panic and must
