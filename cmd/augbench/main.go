@@ -6,7 +6,7 @@
 //	augbench [-experiment E1,E4] [-seed 1] [-trials 5] [-quick] [-amortize] [-json FILE]
 //
 // With no -experiment flag every registered experiment runs (currently
-// E1..E19 — the registry in internal/bench is the authority, and an
+// E1..E20 — the registry in internal/bench is the authority, and an
 // unknown id's error message lists it). With -json the tables are
 // additionally written to FILE as machine-readable JSON (the BENCH_*.json
 // format the perf ledger tracks across PRs). -amortize routes the

@@ -1,12 +1,22 @@
 // Command auggen generates benchmark graphs in the text edge format
-// ("p <n> <m>" header, then "<u> <v> <w>" lines) on stdout.
+// ("p <n> <m>" header, then "<u> <v> <w>" lines) on stdout, or in the
+// binary stream-file format (docs/OPERATIONS.md, "Stream files") with
+// -binary.
 //
 // Usage:
 //
 //	auggen -family planted -n 1000 -m 8000 -seed 1 > g.txt
+//	auggen -family stream -n 100000 -m 10000000 -binary g.estream -order random
 //
-// Families: random, planted, bipartite, cycle, chain, geometric.
+// Families: random, planted, bipartite, cycle, chain, geometric, stream.
 // For families with a known optimum the weight is emitted as a comment.
+//
+// The stream family is generated edge-by-edge and written straight to the
+// binary format — no in-RAM graph or edge slice ever exists, so it scales
+// to streams far larger than memory (with -order random the
+// external-memory shuffle keeps that property while producing a uniformly
+// random arrival order). It requires -binary and does not deduplicate
+// edges (the stream is a multigraph sample).
 package main
 
 import (
@@ -16,6 +26,7 @@ import (
 	"os"
 
 	"repro/internal/graph"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -27,15 +38,27 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("auggen", flag.ContinueOnError)
-	family := fs.String("family", "random", "random|planted|bipartite|cycle|chain|geometric")
+	family := fs.String("family", "random", "random|planted|bipartite|cycle|chain|geometric|stream")
 	n := fs.Int("n", 100, "vertex count (segments for chain; half-length for cycle)")
 	m := fs.Int("m", 500, "edge count (noise edges for planted)")
 	maxw := fs.Int64("maxw", 1000, "maximum edge weight")
 	seed := fs.Int64("seed", 1, "random seed")
+	binary := fs.String("binary", "", "write a binary stream file to this path instead of text on stdout")
+	order := fs.String("order", "arrival", "edge order for -binary: arrival|random")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *order != "arrival" && *order != "random" {
+		return fmt.Errorf("unknown order %q (want arrival or random)", *order)
+	}
 	rng := rand.New(rand.NewSource(*seed))
+
+	if *family == "stream" {
+		if *binary == "" {
+			return fmt.Errorf("family stream generates out of core and requires -binary")
+		}
+		return writeBinary(*binary, *n, *order, graph.RandomEdgeSource(*n, *m, graph.Weight(*maxw), rng), rng)
+	}
 
 	var inst graph.Instance
 	switch *family {
@@ -54,9 +77,29 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown family %q", *family)
 	}
+	if *binary != "" {
+		return writeBinary(*binary, inst.G.N(), *order, stream.SliceSource(inst.G.Edges()), rng)
+	}
 	if inst.OptExact {
 		fmt.Printf("# optimum %d\n", inst.OptWeight)
 	}
 	_, err := inst.G.WriteTo(os.Stdout)
 	return err
+}
+
+// writeBinary lands the generated edges in the stream-file format,
+// shuffled in external memory when order is "random".
+func writeBinary(path string, n int, order string, src func() (graph.Edge, bool), rng *rand.Rand) error {
+	var wrote int
+	var err error
+	if order == "random" {
+		wrote, err = stream.ShuffleToFile(path, n, src, rng, 0)
+	} else {
+		wrote, err = stream.WriteFile(path, n, src)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# wrote %d edges to %s (%s order)\n", wrote, path, order)
+	return nil
 }

@@ -109,6 +109,7 @@ func Registry() map[string]Runner {
 		"E17": E17CrossRound,
 		"E18": E18EditStream,
 		"E19": E19SolverMicroarch,
+		"E20": E20StreamScale,
 	}
 }
 

@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; the
+// disk-resident scale test skips under race (10^7 instrumented arrivals
+// blow the CI time budget without adding coverage — the differential
+// suites run under race instead).
+const raceEnabled = true

@@ -95,7 +95,9 @@ func MPC(b *Bip, delta float64, machines, memPerMachine int, rng *rand.Rand) (MP
 	layers := ell // (2*ell-1+1)/2 unmatched layers per sweep
 	maxSweeps := 4 * ell
 	peak := 0
+	charged := 0
 	for sweep := 0; sweep < maxSweeps; sweep++ {
+		charged = 0
 		completed := growAugmentingPaths(b.N, b.Side, res.M, layers, func() {
 			sim.NextRound()
 			res.AugmentRounds++
@@ -111,7 +113,7 @@ func MPC(b *Bip, delta float64, machines, memPerMachine int, rng *rand.Rand) (MP
 					visit(l, r, e.W)
 				}
 			}
-		}, &peak)
+		}, &peak, func(int) {}, &charged)
 		if len(completed) == 0 {
 			break
 		}

@@ -14,6 +14,10 @@ type StreamingOptions struct {
 	// Delta is the (1−δ) target handed to the unweighted streaming
 	// subroutine. Default 0.2.
 	Delta float64
+	// Account, when non-nil, is the resource-accounting authority handed to
+	// every subroutine instance; each instance's holds are balanced at its
+	// exit so Peak meters the largest single instance.
+	Account *stream.Accountant
 }
 
 // StreamingResult reports the matching with the pass accounting of the
@@ -50,13 +54,18 @@ func SolveStreaming(g *graph.Graph, initial *graph.Matching, opts StreamingOptio
 	roundPasses := 0
 
 	coreOpts := opts.Core
+	scratch := &bipartite.StreamScratch{}
 	coreOpts.Solver = func(b *bipartite.Bip) (*graph.Matching, error) {
 		// In the model, this instance reads the global stream and keeps
 		// only its layered edges; the SliceStream below is that filtered
 		// view, and its pass count is the instance's pass count over the
-		// global stream.
+		// global stream. Instances share one scratch arena (they run
+		// sequentially here even though the model charges them as parallel).
 		s := stream.FromEdges(b.Edges)
-		sr := bipartite.Streaming(b.N, b.Side, s, opts.Delta)
+		sr := bipartite.StreamingOpts(b.N, b.Side, s, opts.Delta, bipartite.StreamOptions{
+			Account: opts.Account,
+			Scratch: scratch,
+		})
 		if sr.Passes > roundPasses {
 			roundPasses = sr.Passes
 		}

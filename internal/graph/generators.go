@@ -59,6 +59,28 @@ func RandomGraph(n, m int, maxW Weight, rng *rand.Rand) Instance {
 	})}
 }
 
+// RandomEdgeSource returns a generator producing m random edges on n
+// vertices with weights uniform in [1, maxW], one edge per call, holding
+// O(1) state. Unlike RandomGraph it does not deduplicate (the stream is a
+// multigraph sample), which is exactly what makes it usable for streams
+// far larger than RAM: the out-of-core writers consume the generator
+// directly and no in-RAM graph ever exists.
+func RandomEdgeSource(n, m int, maxW Weight, rng *rand.Rand) func() (Edge, bool) {
+	emitted := 0
+	return func() (Edge, bool) {
+		if emitted >= m || n < 2 {
+			return Edge{}, false
+		}
+		emitted++
+		u := rng.Intn(n)
+		v := rng.Intn(n - 1)
+		if v >= u {
+			v++
+		}
+		return Edge{U: u, V: v, W: 1 + Weight(rng.Int63n(int64(maxW)))}, true
+	}
+}
+
 // RandomBipartite returns a random bipartite graph with nl left vertices
 // (ids [0, nl)) and nr right vertices (ids [nl, nl+nr)), m edges, and
 // weights uniform in [1, maxW].

@@ -14,21 +14,46 @@ package localratio
 
 import (
 	"repro/internal/graph"
+	"repro/internal/stream"
 )
 
 // Processor runs the local-ratio algorithm over an edge sequence.
-// The zero value is unusable; construct with New.
+// The zero value is unusable; construct with New (or revive a used one
+// with Reset — the stack arena survives, so repeated runs stop paying a
+// per-edge allocation tax).
 type Processor struct {
 	alpha  []graph.Weight
 	stack  []graph.Edge
 	frozen bool
 	peak   int
+	acct   *stream.Accountant
 }
 
 // New returns a processor for graphs on n vertices.
 func New(n int) *Processor {
 	return &Processor{alpha: make([]graph.Weight, n)}
 }
+
+// Reset returns p to the state New(n) constructs while keeping its arenas
+// (the potential array and the stack's capacity), the PR 1 Scratch idiom:
+// a processor reused across passes or runs allocates only when the stack
+// outgrows every previous run.
+func (p *Processor) Reset(n int) {
+	if cap(p.alpha) < n {
+		p.alpha = make([]graph.Weight, n)
+	} else {
+		p.alpha = p.alpha[:n]
+		clear(p.alpha)
+	}
+	p.stack = p.stack[:0]
+	p.frozen = false
+	p.peak = 0
+	p.acct = nil
+}
+
+// SetAccountant registers a as the resource-accounting authority: every
+// stacked edge is charged to it as one held word (Lemma 3.15's |S|).
+func (p *Processor) SetAccountant(a *stream.Accountant) { p.acct = a }
 
 // Residual returns w(e) − α_u − α_v under the current potentials. After
 // Freeze this is the w” of Algorithm 2 line 14 and the surplus weight
@@ -56,6 +81,9 @@ func (p *Processor) Process(e graph.Edge) bool {
 	p.stack = append(p.stack, e)
 	if len(p.stack) > p.peak {
 		p.peak = len(p.stack)
+	}
+	if p.acct != nil {
+		p.acct.Hold(1)
 	}
 	p.alpha[e.U] += r
 	p.alpha[e.V] += r

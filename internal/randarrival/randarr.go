@@ -2,12 +2,23 @@ package randarrival
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/localratio"
 	"repro/internal/stream"
 )
+
+// Arena owns the reusable per-run state of RandArrMatching: the local-ratio
+// processor, the Wgt-Aug-Paths instance (with its 65-slot class table and
+// per-class finder pools), and the T-set buffer. A zero Arena is ready to
+// use; passing the same Arena to successive runs retains every internal
+// allocation, so steady-state runs allocate only for the output matchings.
+type Arena struct {
+	proc *localratio.Processor
+	wap  WgtAugPaths
+	tSet []graph.Edge
+}
 
 // WeightedOptions configures RandArrMatching (Algorithm 2).
 type WeightedOptions struct {
@@ -20,6 +31,20 @@ type WeightedOptions struct {
 	Beta float64
 	// Rng drives the Marked sampling. Required.
 	Rng *rand.Rand
+	// Account, when non-nil, is the resource-accounting authority charged
+	// for every stream-dependent word the run holds (stack, T-set, marked
+	// classes, support sets); its Peak is reported as PeakWords. The run
+	// charges into whatever state the accountant arrives with, so callers
+	// comparing runs should Reset it between them.
+	Account *stream.Accountant
+	// Arena, when non-nil, supplies reusable per-run state (the PR 1
+	// Scratch idiom lifted to the whole per-arrival path).
+	Arena *Arena
+	// Naive runs the retained map-backed Wgt-Aug-Paths reference form
+	// instead of the flat arena form. Invariant 27 pins the two to
+	// bit-identical results; the option exists so tests and same-run
+	// benchmarks can hold the reference next to the hot path.
+	Naive bool
 }
 
 func (o *WeightedOptions) defaults() {
@@ -48,6 +73,20 @@ type WeightedResult struct {
 	// TSize is |T|, the number of positive-residual edges stored after the
 	// freeze.
 	TSize int
+	// Passes is the number of stream passes the run consumed, reported as
+	// the difference of the stream's own Passes() counter around the run
+	// (the accounting authority; Algorithm 2 is single-pass, so this is 1).
+	Passes int
+	// PeakWords is Account's peak held-word count over the run, 0 when no
+	// accountant was supplied.
+	PeakWords int
+}
+
+// feeder is the part of Wgt-Aug-Paths Algorithm 2 consumes; both the flat
+// arena form and the retained naive form satisfy it.
+type feeder interface {
+	Feed(graph.Edge)
+	Finalize() *graph.Matching
 }
 
 // RandArrMatching is Algorithm 2 (Theorem 1.1): a single-pass streaming
@@ -61,12 +100,30 @@ type WeightedResult struct {
 // every later edge to Wgt-Aug-Paths initialised with M0. Finally M1 is the
 // best matching assembled from T plus the stack, M2 is the Wgt-Aug-Paths
 // output, and the heavier one is returned.
+//
+// The stream is Reset at entry: the run owns its pass structure, so a
+// stream another consumer already advanced cannot silently shrink phase 1
+// (which would skew the prefix split and, with it, the whole analysis).
 func RandArrMatching(n int, s stream.EdgeStream, opts WeightedOptions) WeightedResult {
 	opts.defaults()
+	s.Reset()
+	passes0 := s.Passes()
+	acct := opts.Account
 	total := s.Len()
 	prefix := int(opts.PrefixFraction * float64(total))
 
-	proc := localratio.New(n)
+	var proc *localratio.Processor
+	if a := opts.Arena; a != nil {
+		if a.proc == nil {
+			a.proc = localratio.New(n)
+		} else {
+			a.proc.Reset(n)
+		}
+		proc = a.proc
+	} else {
+		proc = localratio.New(n)
+	}
+	proc.SetAccountant(acct)
 	for i := 0; i < prefix; i++ {
 		e, ok := s.Next()
 		if !ok {
@@ -77,8 +134,23 @@ func RandArrMatching(n int, s stream.EdgeStream, opts WeightedOptions) WeightedR
 	m0 := proc.Unwind()
 	proc.Freeze()
 
-	wap := NewWgtAugPaths(m0, opts.Beta, opts.Rng)
+	var wap feeder
+	switch {
+	case opts.Naive:
+		wap = NewNaiveWgtAugPaths(m0, opts.Beta, opts.Rng, acct)
+	case opts.Arena != nil:
+		opts.Arena.wap.Init(m0, opts.Beta, opts.Rng, acct)
+		wap = &opts.Arena.wap
+	default:
+		w := &WgtAugPaths{}
+		w.Init(m0, opts.Beta, opts.Rng, acct)
+		wap = w
+	}
+
 	var tSet []graph.Edge
+	if opts.Arena != nil {
+		tSet = opts.Arena.tSet[:0]
+	}
 	for {
 		e, ok := s.Next()
 		if !ok {
@@ -86,8 +158,14 @@ func RandArrMatching(n int, s stream.EdgeStream, opts WeightedOptions) WeightedR
 		}
 		if proc.Residual(e) > 0 {
 			tSet = append(tSet, e)
+			if acct != nil {
+				acct.Hold(1)
+			}
 		}
 		wap.Feed(e)
+	}
+	if opts.Arena != nil {
+		opts.Arena.tSet = tSet
 	}
 
 	m1 := buildStackMatching(n, proc, tSet)
@@ -97,6 +175,10 @@ func RandArrMatching(n int, s stream.EdgeStream, opts WeightedOptions) WeightedR
 		M0Weight:  m0.Weight(),
 		StackSize: proc.PeakStackLen(),
 		TSize:     len(tSet),
+		Passes:    s.Passes() - passes0,
+	}
+	if acct != nil {
+		res.PeakWords = acct.Peak()
 	}
 	if m2.Weight() > m1.Weight() {
 		res.M, res.Branch = m2, "augment"
@@ -116,22 +198,32 @@ func RandArrMatching(n int, s stream.EdgeStream, opts WeightedOptions) WeightedR
 // is all the Case-2 analysis (Lemma 3.13) consumes up to a constant factor
 // in c. See DESIGN.md, substitution table.
 func buildStackMatching(n int, proc *localratio.Processor, tSet []graph.Edge) *graph.Matching {
-	byResidual := make([]graph.Edge, len(tSet))
-	copy(byResidual, tSet)
-	sort.Slice(byResidual, func(i, j int) bool {
-		ri, rj := proc.Residual(byResidual[i]), proc.Residual(byResidual[j])
-		if ri != rj {
-			return ri > rj
+	type resEdge struct {
+		e graph.Edge
+		r graph.Weight
+	}
+	byResidual := make([]resEdge, len(tSet))
+	for i, e := range tSet {
+		byResidual[i] = resEdge{e, proc.Residual(e)}
+	}
+	// The key (residual desc, U, V) is a total order on distinct edges, so
+	// the comparison-sort algorithm cannot change the greedy outcome.
+	slices.SortFunc(byResidual, func(a, b resEdge) int {
+		if a.r != b.r {
+			if a.r > b.r {
+				return -1
+			}
+			return 1
 		}
-		if byResidual[i].U != byResidual[j].U {
-			return byResidual[i].U < byResidual[j].U
+		if a.e.U != b.e.U {
+			return a.e.U - b.e.U
 		}
-		return byResidual[i].V < byResidual[j].V
+		return a.e.V - b.e.V
 	})
 	m1 := graph.NewMatching(n)
-	for _, e := range byResidual {
-		if !m1.IsMatched(e.U) && !m1.IsMatched(e.V) {
-			mustAdd(m1, e)
+	for _, re := range byResidual {
+		if !m1.IsMatched(re.e.U) && !m1.IsMatched(re.e.V) {
+			mustAdd(m1, re.e)
 		}
 	}
 	proc.UnwindInto(m1)

@@ -23,6 +23,11 @@ type EdgeStream interface {
 	Reset()
 	// Len returns the number of edges in one full pass.
 	Len() int
+	// Passes returns the number of passes started so far. The stream's own
+	// counter is the authority on pass complexity: drivers report
+	// differences of Passes() around their scans instead of hand-counting
+	// next to Reset calls (the two were observed to drift in review).
+	Passes() int
 }
 
 // SliceStream streams a fixed edge slice in order. It records the number of
@@ -87,6 +92,15 @@ func (s *SliceStream) Edges() []graph.Edge { return s.edges }
 // (Lemmas 3.3, 3.12, 3.15). Stored items are counted in edges because the
 // semi-streaming model measures memory in units of Θ(log n)-bit words and
 // an edge occupies O(1) of them.
+//
+// The Accountant is the single resource-accounting authority of the
+// streaming tier: every streaming algorithm (bipartite.Streaming,
+// randarrival.RandArrMatching, the localratio stack, the unwaug support
+// set) charges the accountant it is handed instead of hand-rolling its own
+// peak counters, so the E20 ledger's "peak words" column is one number
+// with one meaning. Fixed O(n)-word working arrays (potentials, mark bits,
+// path tips) are not charged — the model grants Θ(n) words for free and
+// the interesting quantity is the stream-dependent surplus.
 type Accountant struct {
 	current int
 	peak    int
@@ -105,3 +119,6 @@ func (a *Accountant) Current() int { return a.current }
 
 // Peak returns the maximum simultaneous edge count observed.
 func (a *Accountant) Peak() int { return a.peak }
+
+// Reset clears the accountant for reuse across runs.
+func (a *Accountant) Reset() { a.current, a.peak = 0, 0 }

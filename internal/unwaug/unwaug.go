@@ -9,9 +9,12 @@ package unwaug
 import (
 	"repro/internal/graph"
 	"repro/internal/matchutil"
+	"repro/internal/stream"
 )
 
-// Finder is one Unw-3-Aug-Paths instance. Construct with New.
+// Finder is one Unw-3-Aug-Paths instance. Construct with New, or revive a
+// used one with Reset (the degree array and support table are arenas that
+// survive reuse across runs).
 type Finder struct {
 	m      *graph.Matching
 	lambda int
@@ -23,11 +26,21 @@ type Finder struct {
 	// vertices), as in the lemma.
 	support map[int][]graph.Edge
 	fed     int
+	acct    *stream.Accountant
 }
 
 // New returns a finder for matching m with parameter beta in (0, 1].
 // Following the proof of Lemma 3.1 it uses lambda = 8/beta.
 func New(m *graph.Matching, beta float64) *Finder {
+	f := &Finder{}
+	f.Reset(m, beta)
+	return f
+}
+
+// Reset reinitialises f around m and beta, keeping its arenas. Reusing a
+// finder across runs (the per-weight-class pools of Wgt-Aug-Paths) avoids
+// re-allocating the O(n) degree array and the support table every run.
+func (f *Finder) Reset(m *graph.Matching, beta float64) {
 	if beta <= 0 || beta > 1 {
 		beta = 1
 	}
@@ -35,13 +48,27 @@ func New(m *graph.Matching, beta float64) *Finder {
 	if lambda < 2 {
 		lambda = 2
 	}
-	return &Finder{
-		m:       m,
-		lambda:  lambda,
-		degS:    make([]int, m.N()),
-		support: make(map[int][]graph.Edge, m.Size()*2),
+	f.m = m
+	f.lambda = lambda
+	if cap(f.degS) < m.N() {
+		f.degS = make([]int, m.N())
+	} else {
+		f.degS = f.degS[:m.N()]
+		clear(f.degS)
 	}
+	if f.support == nil {
+		f.support = make(map[int][]graph.Edge, m.Size()*2)
+	} else {
+		clear(f.support)
+	}
+	f.fed = 0
+	f.acct = nil
 }
+
+// SetAccountant registers a as the resource-accounting authority: every
+// kept support edge is charged to it as one held word (the |S| <= 4|M|
+// space of Lemma 3.1).
+func (f *Finder) SetAccountant(a *stream.Accountant) { f.acct = a }
 
 // Matching returns the initial matching the finder was built around.
 func (f *Finder) Matching() *graph.Matching { return f.m }
@@ -65,6 +92,9 @@ func (f *Finder) Feed(e graph.Edge) {
 	f.degS[free]++
 	f.degS[matched]++
 	f.support[matched] = append(f.support[matched], e)
+	if f.acct != nil {
+		f.acct.Hold(1)
+	}
 }
 
 // SupportSize returns |S|, the number of stored support edges.
